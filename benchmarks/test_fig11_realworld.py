@@ -1,0 +1,42 @@
+"""Figure 11 (inferred; §6.5 references the real-world datasets): the
+NUS-WIDE-like (225-D), GIST-like (512-D) and LDA-like (250-D) simulators
+under the paper's scale-factor protocol s in [5, 25].
+
+Expected shape: at hundreds of dimensions nearly every point is
+incomparable, the merge phase dominates completely, and the Z-merge
+system beats the Grid baseline on every dataset.
+"""
+
+from conftest import once
+
+from repro.bench import experiments
+
+
+class TestFig11:
+    def test_realworld_datasets(self, benchmark, scale, emit):
+        table = once(benchmark, experiments.fig11_realworld)
+        emit(table, "fig11")
+        datasets = sorted(set(table.column("dataset")))
+        assert len(datasets) == 3
+        top_s = max(table.column("s"))
+        for dataset in datasets:
+            zdg = table.select(
+                dataset=dataset, plan="ZDG+ZS+ZM", s=top_s
+            ).column("makespan_cost")[0]
+            grid = table.select(
+                dataset=dataset, plan="Grid+ZS", s=top_s
+            ).column("makespan_cost")[0]
+            assert zdg < grid, dataset
+
+    def test_scale_factor_grows_work(self, benchmark, scale, emit):
+        table = once(
+            benchmark,
+            lambda: experiments.fig11_realworld(
+                plans=("ZDG+ZS+ZM",), scale_factors=(5, 25)
+            ),
+        )
+        emit(table, "fig11_scale_factor")
+        for dataset in sorted(set(table.column("dataset"))):
+            rows = table.select(dataset=dataset, plan="ZDG+ZS+ZM")
+            by_s = dict(zip(rows.column("s"), rows.column("makespan_cost")))
+            assert by_s[25] > by_s[5]

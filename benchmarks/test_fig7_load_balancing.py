@@ -1,0 +1,68 @@
+"""Figure 7: effect of load balancing (total time vs |P| and vs d).
+
+Paper shape: the Z-order dominance-grouped system scales smoothly while
+Grid/Angle degrade as the dataset grows and especially as dimensionality
+rises past ~5; at high d the full ZDG stack wins by multiples.
+"""
+
+from conftest import once
+
+from repro.bench import experiments
+
+
+def _series(table, plan, x_col, y_col="makespan_cost"):
+    rows = table.select(plan=plan)
+    return dict(zip(rows.column(x_col), rows.column(y_col)))
+
+
+class TestFig7SizeSweep:
+    def test_fig7a_independent(self, benchmark, scale, emit):
+        table = once(
+            benchmark, lambda: experiments.fig7_size_sweep("independent")
+        )
+        emit(table, "fig7a")
+        zdg = _series(table, "ZDG+ZS+ZM", "size_m")
+        grid_sb = _series(table, "Grid+SB", "size_m")
+        largest = max(zdg)
+        # The full ZDG stack beats the Grid+SB baseline at scale.
+        assert zdg[largest] < grid_sb[largest]
+        # Work grows with input size for every strategy.
+        for plan in experiments.FIG7_PLANS:
+            series = _series(table, plan, "size_m")
+            assert series[largest] > series[min(series)]
+
+    def test_fig7b_anticorrelated(self, benchmark, scale, emit):
+        table = once(
+            benchmark, lambda: experiments.fig7_size_sweep("anticorrelated")
+        )
+        emit(table, "fig7b")
+        zdg = _series(table, "ZDG+ZS+ZM", "size_m")
+        grid = _series(table, "Grid+ZS", "size_m")
+        largest = max(zdg)
+        assert zdg[largest] < grid[largest]
+
+
+class TestFig7DimsSweep:
+    def test_fig7c_independent(self, benchmark, scale, emit):
+        table = once(
+            benchmark, lambda: experiments.fig7_dims_sweep("independent")
+        )
+        emit(table, "fig7c")
+        zdg = _series(table, "ZDG+ZS+ZM", "d")
+        grid = _series(table, "Grid+ZS", "d")
+        angle = _series(table, "Angle+ZS", "d")
+        # The paper's headline: past d ~ 7 the baselines blow up while
+        # ZDG grows smoothly — it wins against both at d = 10.
+        assert zdg[10] < grid[10]
+        assert zdg[10] < angle[10]
+        # Grid's cost explodes with dimensionality much faster than ZDG.
+        assert grid[10] / grid[2] > zdg[10] / zdg[2]
+
+    def test_fig7d_anticorrelated(self, benchmark, scale, emit):
+        table = once(
+            benchmark, lambda: experiments.fig7_dims_sweep("anticorrelated")
+        )
+        emit(table, "fig7d")
+        zdg = _series(table, "ZDG+ZS+ZM", "d")
+        grid = _series(table, "Grid+ZS", "d")
+        assert zdg[10] < grid[10]

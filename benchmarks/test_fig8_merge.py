@@ -1,0 +1,67 @@
+"""Figure 8: running time of skyline-candidate merging.
+
+Paper shape: Z-merge (ZM) beats merging with a plain skyline algorithm
+(SB) by a wide margin and beats ZS; the advantage grows with input size
+and dimensionality because index-level region pruning avoids point-level
+dominance tests.
+"""
+
+from conftest import once
+
+from repro.bench import experiments
+
+
+def _series(table, plan, x_col, y_col="merge_cost"):
+    rows = table.select(plan=plan)
+    return dict(zip(rows.column(x_col), rows.column(y_col)))
+
+
+class TestFig8SizeSweep:
+    def test_fig8a_independent(self, benchmark, scale, emit):
+        table = once(
+            benchmark,
+            lambda: experiments.fig8_merge_size_sweep("independent"),
+        )
+        emit(table, "fig8a")
+        zm = _series(table, "ZDG+ZS+ZM", "size_m")
+        sb = _series(table, "ZDG+ZS+SB", "size_m")
+        zs = _series(table, "ZDG+ZS+ZS", "size_m")
+        largest = max(zm)
+        # Same candidates, different merge: ZM does the least work.
+        assert zm[largest] < sb[largest]
+        assert zm[largest] < zs[largest]
+
+    def test_fig8b_anticorrelated(self, benchmark, scale, emit):
+        table = once(
+            benchmark,
+            lambda: experiments.fig8_merge_size_sweep("anticorrelated"),
+        )
+        emit(table, "fig8b")
+        zm = _series(table, "ZDG+ZS+ZM", "size_m")
+        sb = _series(table, "ZDG+ZS+SB", "size_m")
+        largest = max(zm)
+        # The hard case: huge candidate sets; the paper reports >10x.
+        assert sb[largest] / zm[largest] > 2.0
+
+
+class TestFig8DimsSweep:
+    def test_fig8c_independent(self, benchmark, scale, emit):
+        table = once(
+            benchmark,
+            lambda: experiments.fig8_merge_dims_sweep("independent"),
+        )
+        emit(table, "fig8c")
+        zm = _series(table, "ZDG+ZS+ZM", "d")
+        grid = _series(table, "Grid+ZS+ZS", "d")
+        assert zm[10] < grid[10]
+
+    def test_fig8d_anticorrelated(self, benchmark, scale, emit):
+        table = once(
+            benchmark,
+            lambda: experiments.fig8_merge_dims_sweep("anticorrelated"),
+        )
+        emit(table, "fig8d")
+        zm = _series(table, "ZDG+ZS+ZM", "d")
+        sb = _series(table, "ZDG+ZS+SB", "d")
+        # ZM's advantage grows with dimensionality.
+        assert sb[10] / zm[10] >= sb[4] / max(zm[4], 1)

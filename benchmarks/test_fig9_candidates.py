@@ -1,0 +1,70 @@
+"""Figure 9: number of skyline candidates per partitioning approach.
+
+Paper shape: the dominance-grouped Z-order pipeline emits far fewer
+candidates than Grid (its SZB prefilter + grouping prune dominated
+points before the shuffle), and candidate counts grow with input size
+for every approach.
+"""
+
+from conftest import once
+
+from repro.bench import experiments
+
+
+def _series(table, plan, y_col="candidates"):
+    rows = table.select(plan=plan)
+    return dict(zip(rows.column("size_m"), rows.column(y_col)))
+
+
+class TestFig9:
+    def test_candidates_independent(self, benchmark, scale, emit):
+        table = once(
+            benchmark, lambda: experiments.fig9_candidates("independent")
+        )
+        emit(table, "fig9_independent")
+        zdg = _series(table, "ZDG+ZS")
+        naive = _series(table, "Naive-Z+ZS")
+        grid = _series(table, "Grid+ZS")
+        largest = max(zdg)
+        # The whole Z-order family beats Grid on candidate volume.
+        assert zdg[largest] < grid[largest]
+        assert naive[largest] < grid[largest]
+        # Candidate counts grow with input for every approach.
+        for plan in experiments.FIG9_PARTITIONERS:
+            series = _series(table, plan)
+            assert series[largest] >= series[min(series)]
+
+    def test_candidates_anticorrelated(self, benchmark, scale, emit):
+        # DIVERGENCE from the paper (recorded in EXPERIMENTS.md): on
+        # anti-correlated data our Grid baseline's compact cells prune
+        # candidates *more* than the Z-family, so the paper's "ZDG emits
+        # 5x fewer candidates than Grid" does not reproduce here.  What
+        # does reproduce: only the Z-family prunes input records before
+        # the shuffle, and its candidate volume stays within a small
+        # factor of Grid's.
+        table = once(
+            benchmark, lambda: experiments.fig9_candidates("anticorrelated")
+        )
+        emit(table, "fig9_anticorrelated")
+        zdg = _series(table, "ZDG+ZS")
+        grid = _series(table, "Grid+ZS")
+        zdg_pruned = _series(table, "ZDG+ZS", "pruned_inputs")
+        grid_pruned = _series(table, "Grid+ZS", "pruned_inputs")
+        largest = max(zdg)
+        assert zdg_pruned[largest] > grid_pruned[largest]
+        assert zdg[largest] <= grid[largest] * 2.0
+
+    def test_prefilter_prunes_inputs(self, benchmark, scale, emit):
+        table = once(
+            benchmark,
+            lambda: experiments.fig9_candidates(
+                "independent", sizes_m=(60,)
+            ),
+        )
+        emit(table, "fig9_pruning_detail")
+        zdg_rows = table.select(plan="ZDG+ZS")
+        grid_rows = table.select(plan="Grid+ZS")
+        # The Z-family prunes input records before the shuffle; Grid
+        # cannot (no sample-skyline prefilter).
+        assert zdg_rows.column("pruned_inputs")[0] > 0
+        assert grid_rows.column("pruned_inputs")[0] == 0

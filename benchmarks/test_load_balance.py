@@ -1,0 +1,54 @@
+"""§6.2's underlying mechanism, measured directly: per-reducer work skew
+and straggler makespan per partitioning strategy, plus straggler fault
+injection on the simulated cluster.
+"""
+
+from conftest import once
+
+from repro.bench import experiments
+from repro.bench.harness import run_plan_measured
+from repro.data.synthetic import anticorrelated
+
+
+class TestLoadBalance:
+    def test_grouping_tames_stragglers(self, benchmark, scale, emit):
+        table = once(benchmark, experiments.load_balance_metrics)
+        emit(table, "load_balance")
+        rows = {r["plan"]: r for r in table.rows}
+        # Grouped strategies keep reducer skew moderate.
+        assert rows["ZDG+ZS"]["reducer_skew"] < 3.0
+        # And their phase-1 straggler (makespan) is no worse than the
+        # ungrouped Grid baseline by more than 2x.
+        assert (
+            rows["ZDG+ZS"]["phase1_makespan"]
+            < rows["Grid+ZS"]["phase1_makespan"] * 2
+        )
+
+    def test_straggler_injection_shows_in_wall_makespan(
+        self, benchmark, scale
+    ):
+        ds = anticorrelated(scale.size(10), 5, seed=3)
+
+        def run_with_straggler():
+            base = run_plan_measured(
+                "ZDG+ZS+ZM", ds, num_workers=4, seed=0
+            )
+            slowed = run_plan_measured(
+                "ZDG+ZS+ZM", ds, num_workers=4, seed=0,
+                slowdown_factors=[25.0, 1.0, 1.0, 1.0],
+            )
+            return base, slowed
+
+        base, slowed = benchmark.pedantic(
+            run_with_straggler, rounds=1, iterations=1
+        )
+        assert (
+            slowed.phase1.map_metrics.makespan_seconds
+            > base.phase1.map_metrics.makespan_seconds
+        )
+        # Abstract cost is unaffected by the injected fault: the cost
+        # model isolates algorithmic skew from environmental stragglers.
+        assert (
+            slowed.phase1.map_metrics.makespan_cost
+            == base.phase1.map_metrics.makespan_cost
+        )

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of incremental maintenance vs recomputation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.zs import zs_skyline
+from repro.maintenance import SkylineMaintainer
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.zbtree import OpCounter
+
+
+@pytest.fixture(scope="module")
+def stream(scale):
+    rng = np.random.default_rng(17)
+    n = scale.size(10)
+    batch = max(50, n // 20)
+    batches = [
+        rng.integers(0, 4096, (batch, 4)).astype(float)
+        for _ in range(10)
+    ]
+    return batches
+
+
+class TestMaintenanceThroughput:
+    def test_incremental_inserts(self, benchmark, stream):
+        codec = ZGridCodec.grid_identity(4, bits_per_dim=12)
+
+        def run():
+            m = SkylineMaintainer(codec)
+            next_id = 0
+            for batch in stream:
+                ids = np.arange(next_id, next_id + batch.shape[0])
+                m.insert_block(batch, ids)
+                next_id += batch.shape[0]
+            return m
+
+        m = benchmark(run)
+        assert m.skyline_size > 0
+
+    def test_recompute_from_scratch(self, benchmark, stream):
+        codec = ZGridCodec.grid_identity(4, bits_per_dim=12)
+
+        def run():
+            seen = []
+            last = None
+            for batch in stream:
+                seen.append(batch)
+                allp = np.vstack(seen)
+                last, _ = zs_skyline(allp, None, None, codec)
+            return last
+
+        last = benchmark(run)
+        assert last.shape[0] > 0
+
+    def test_incremental_does_less_dominance_work(self, benchmark, stream):
+        codec = ZGridCodec.grid_identity(4, bits_per_dim=12)
+
+        def compare():
+            m = SkylineMaintainer(codec)
+            next_id = 0
+            for batch in stream:
+                ids = np.arange(next_id, next_id + batch.shape[0])
+                m.insert_block(batch, ids)
+                next_id += batch.shape[0]
+            incremental_cost = m.counter.total()
+
+            recompute_cost = 0
+            seen = []
+            for batch in stream:
+                seen.append(batch)
+                counter = OpCounter()
+                zs_skyline(np.vstack(seen), None, counter, codec)
+                recompute_cost += counter.total()
+            return incremental_cost, recompute_cost
+
+        incremental_cost, recompute_cost = benchmark.pedantic(
+            compare, rounds=1, iterations=1
+        )
+        assert incremental_cost < recompute_cost

@@ -1,0 +1,33 @@
+"""§5.4's data-pruning analysis, measured: how much of the input the
+first MapReduce job eliminates before the merge, per distribution.
+
+Paper's analysis: correlated data is pruned almost entirely (n_p close
+to n - M), independent data proportionally to the dominance volume, and
+anti-correlated data the least (in the extreme, n_p = 0 when every point
+is a skyline point).
+"""
+
+from conftest import once
+
+from repro.bench import experiments
+
+
+class TestPruningAnalysis:
+    def test_pruning_order_matches_analysis(self, benchmark, scale, emit):
+        table = once(benchmark, experiments.pruning_analysis)
+        emit(table, "pruning_analysis")
+        frac = {
+            r["distribution"]: r["pruned_fraction"] for r in table.rows
+        }
+        # correlated >= independent >= anticorrelated, strictly ordered
+        # in practice.
+        assert frac["correlated"] > frac["independent"]
+        assert frac["independent"] > frac["anticorrelated"]
+
+    def test_candidates_bounded_by_input(self, benchmark, scale, emit):
+        table = once(
+            benchmark, lambda: experiments.pruning_analysis(size_m=20)
+        )
+        emit(table, "pruning_analysis_small")
+        for row in table.rows:
+            assert row["skyline"] <= row["candidates"] <= row["n"]

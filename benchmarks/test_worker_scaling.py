@@ -1,0 +1,39 @@
+"""Worker-scaling speedup curves (systems figure beyond the paper)."""
+
+from conftest import once
+
+from repro.bench import experiments
+
+
+def _series(table, plan):
+    rows = table.select(plan=plan)
+    return dict(zip(rows.column("workers"), rows.column("makespan_cost")))
+
+
+class TestWorkerScaling:
+    def test_zmp_keeps_scaling_past_zm(self, benchmark, scale, emit):
+        table = once(benchmark, experiments.worker_scaling)
+        emit(table, "worker_scaling")
+        zm = _series(table, "ZDG+ZS+ZM")
+        zmp = _series(table, "ZDG+ZS+ZMP")
+        # Adding workers helps both (1 -> 16 strictly improves).
+        assert zm[16] < zm[1]
+        assert zmp[16] < zmp[1]
+        # At high worker counts the single-reducer merge is the floor:
+        # the parallel merge ends up at least as fast.
+        assert zmp[16] <= zm[16]
+
+    def test_total_work_stable_across_cluster_sizes(self, benchmark,
+                                                    scale, emit):
+        table = once(
+            benchmark,
+            lambda: experiments.worker_scaling(
+                worker_counts=(2, 8), plans=("ZDG+ZS+ZM",)
+            ),
+        )
+        emit(table, "worker_scaling_total")
+        rows = table.select(plan="ZDG+ZS+ZM")
+        totals = rows.column("total_cost")
+        # The work done is a property of the plan, not the cluster size
+        # (within the tolerance of input-split granularity effects).
+        assert abs(totals[0] - totals[1]) / max(totals) < 0.3

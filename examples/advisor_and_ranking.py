@@ -1,0 +1,63 @@
+"""Plan advisor + skyline post-processing (extensions).
+
+Shows the full decision flow a downstream application would use:
+
+1. let the advisor pick a strategy from a sample;
+2. run the distributed pipeline;
+3. post-process the (large) skyline: rank by dominance, take a
+   representative top-k, and shrink with the k-dominant relaxation.
+
+Run:  python examples/advisor_and_ranking.py
+"""
+
+from repro import SkylineEngine, EngineConfig
+from repro.data import anticorrelated
+from repro.extensions import (
+    k_dominant_skyline,
+    rank_skyline,
+    top_k_skyline,
+)
+from repro.pipeline.advisor import advise
+from repro.zorder import quantize_dataset
+
+
+def main() -> None:
+    dataset = anticorrelated(8_000, 8, seed=9)
+    print(f"dataset: {dataset.name}\n")
+
+    advice = advise(dataset, num_workers=8)
+    print(f"advisor recommends: {advice.plan_string()} "
+          f"with {advice.num_groups} groups")
+    for line in advice.rationale:
+        print(f"  - {line}")
+
+    config = EngineConfig(
+        plan=advice.plan, num_groups=advice.num_groups, num_workers=8
+    )
+    report = SkylineEngine(config).run(dataset)
+    print(f"\nskyline: {report.skyline_size} of {dataset.size} points "
+          f"(too many to eyeball)")
+
+    snapped, _ = quantize_dataset(dataset, bits_per_dim=12)
+
+    ranked_pts, ranked_ids, scores = rank_skyline(
+        report.skyline.points, report.skyline.ids, snapped.points,
+        method="dominance",
+    )
+    print("\nmost dominant skyline members (id: points dominated):")
+    for pid, score in list(zip(ranked_ids, scores))[:5]:
+        print(f"  #{pid}: {int(score)}")
+
+    rep_pts, rep_ids = top_k_skyline(
+        report.skyline.points, report.skyline.ids, snapped.points, k=5
+    )
+    print(f"\nrepresentative top-5 (greedy max coverage): "
+          f"{sorted(rep_ids.tolist())}")
+
+    for k in (8, 7, 6):
+        shrunk, _ = k_dominant_skyline(report.skyline.points, k)
+        print(f"k-dominant skyline, k={k}: {shrunk.shape[0]} points")
+
+
+if __name__ == "__main__":
+    main()

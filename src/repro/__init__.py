@@ -1,0 +1,58 @@
+"""repro — parallel skyline query processing for high-dimensional data.
+
+A faithful, pure-Python reproduction of Tang et al., *Efficient Parallel
+Skyline Query Processing for High-Dimensional Data* (ICDE 2019): Z-order
+partitioning with heuristic (ZHG) and dominance-based (ZDG) partition
+grouping, SZB-tree mapper prefiltering, and ZB-tree Z-merge candidate
+merging, over a simulated share-nothing MapReduce platform — plus the
+Grid, Angle, Random and MR-GPMRS baselines the paper compares against,
+an R-tree/BBS substrate, incremental skyline maintenance, and query
+extensions (k-dominant, ranking, subspace skylines).
+
+Quickstart::
+
+    from repro import run_plan
+    from repro.data import anticorrelated
+
+    report = run_plan("ZDG+ZS+ZM", anticorrelated(20_000, 5, seed=1))
+    print(report.skyline_size, report.summary())
+
+See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+figure-by-figure reproduction record, and docs/API.md for the full API
+tour.
+"""
+
+from repro.core.dataset import Dataset
+from repro.core.point import DominanceRelation, compare, dominates
+from repro.core.skyline import skyline_oracle
+from repro.maintenance import SkylineMaintainer
+from repro.pipeline.advisor import Advice, advise
+from repro.pipeline.driver import (
+    EngineConfig,
+    RunReport,
+    SkylineEngine,
+    run_plan,
+)
+from repro.pipeline.gpmrs import run_gpmrs
+from repro.pipeline.plans import PlanConfig, parse_plan
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "Advice",
+    "Dataset",
+    "DominanceRelation",
+    "EngineConfig",
+    "PlanConfig",
+    "RunReport",
+    "SkylineEngine",
+    "SkylineMaintainer",
+    "advise",
+    "compare",
+    "dominates",
+    "parse_plan",
+    "run_gpmrs",
+    "run_plan",
+    "skyline_oracle",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Centralised skyline algorithms.
+
+These are the local (per-worker) skyline computations the paper evaluates:
+
+* ``BNL`` — block-nested-loop, the original skyline algorithm [1];
+* ``SB`` — sort-based: presort by a monotone score, then a single
+  BNL-style filter pass (the paper's "sorting the data first, then
+  computing the skyline via the Block-Nest-Loop");
+* ``ZS`` — Z-search over a ZB-tree (state of the art, Lee et al. [5]);
+* ``DNC`` — divide & conquer baseline;
+* ``BITSTRING`` — the partition-bitmap filter used by the MR-GPMRS
+  baseline.
+
+All implementations share one signature: ``algo(points, ids, counter)``
+returning ``(skyline_points, skyline_ids)``; look them up by paper name
+via :func:`repro.algorithms.registry.get_algorithm`.
+"""
+
+from repro.algorithms.bnl import bnl_skyline
+from repro.algorithms.dnc import dnc_skyline
+from repro.algorithms.registry import available_algorithms, get_algorithm
+from repro.algorithms.sfs import sort_based_skyline
+from repro.algorithms.zs import zs_skyline
+
+__all__ = [
+    "available_algorithms",
+    "bnl_skyline",
+    "dnc_skyline",
+    "get_algorithm",
+    "sort_based_skyline",
+    "zs_skyline",
+]

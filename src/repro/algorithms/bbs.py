@@ -1,0 +1,121 @@
+"""BBS: branch-and-bound skyline over an R-tree (Papadias et al. [2]).
+
+The progressive classic: expand R-tree entries in ascending L1 distance
+of their MBR's lower corner.  Because any dominator of a point has a
+strictly smaller coordinate sum, an entry popped from the heap can only
+be dominated by skyline points already reported — so each popped entry
+is either pruned against the current skyline or, if it is a point,
+reported immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.point import block_dominates
+from repro.rtree.tree import RTree, RTreeNode, bulk_load_str
+from repro.zorder.zbtree import OpCounter
+
+
+def bbs_skyline(
+    points: np.ndarray,
+    ids: Optional[np.ndarray] = None,
+    counter: Optional[OpCounter] = None,
+    leaf_capacity: int = 32,
+    fanout: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skyline of ``points`` via BBS (builds the R-tree internally).
+
+    Returns ``(skyline_points, skyline_ids)`` in the progressive
+    (ascending coordinate-sum) order BBS reports them.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    d = points.shape[1] if points.ndim == 2 else 1
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    counter = counter if counter is not None else OpCounter()
+    if n == 0:
+        return points.reshape(0, d), ids
+    tree = bulk_load_str(points, ids, leaf_capacity=leaf_capacity,
+                         fanout=fanout)
+    return bbs_over_tree(tree, counter)
+
+
+def bbs_progressive(
+    tree: RTree, counter: Optional[OpCounter] = None
+):
+    """Progressive BBS: yield ``(point, id)`` skyline members one by one.
+
+    BBS is *progressive* — it reports skyline points in ascending
+    coordinate-sum order before finishing the scan, so callers can
+    consume the first results (e.g. a top-k page) without paying for the
+    full skyline.  This generator exposes that property.
+    """
+    counter = counter if counter is not None else OpCounter()
+    d = tree.dimensions
+    if tree.root is None:
+        return
+
+    sky_block = np.empty((0, d))
+    tiebreak = itertools.count()
+    heap: List[tuple] = [
+        (tree.root.mbr.mindist_key(), next(tiebreak), 0, tree.root, -1)
+    ]
+    while heap:
+        _key, _tb, kind, payload, payload_id = heapq.heappop(heap)
+        counter.nodes_visited += 1
+        if kind == 1:
+            point = payload
+            counter.point_tests += sky_block.shape[0]
+            if sky_block.shape[0] and block_dominates(sky_block, point).any():
+                continue
+            sky_block = np.vstack([sky_block, point[None, :]])
+            yield point, payload_id
+            continue
+        node: RTreeNode = payload
+        counter.region_tests += max(sky_block.shape[0], 1)
+        if sky_block.shape[0] and block_dominates(
+            sky_block, node.mbr.lower
+        ).any():
+            continue
+        if node.is_leaf:
+            for i in range(node.size):
+                point = node.points[i]  # type: ignore[union-attr]
+                heapq.heappush(
+                    heap,
+                    (
+                        float(point.sum()),
+                        next(tiebreak),
+                        1,
+                        point,
+                        int(node.ids[i]),  # type: ignore[union-attr]
+                    ),
+                )
+        else:
+            for child in node.children:  # type: ignore[union-attr]
+                heapq.heappush(
+                    heap,
+                    (child.mbr.mindist_key(), next(tiebreak), 0, child, -1),
+                )
+
+
+def bbs_over_tree(
+    tree: RTree, counter: Optional[OpCounter] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run BBS to completion over an already-built R-tree."""
+    d = tree.dimensions
+    sky_points: List[np.ndarray] = []
+    sky_ids: List[int] = []
+    for point, point_id in bbs_progressive(tree, counter):
+        sky_points.append(point)
+        sky_ids.append(point_id)
+    if not sky_points:
+        return np.empty((0, d)), np.empty(0, dtype=np.int64)
+    return np.vstack(sky_points), np.asarray(sky_ids, dtype=np.int64)

@@ -1,0 +1,97 @@
+"""Bitstring-filtered skyline, the local step of MR-GPMRS [12].
+
+MR-GPMRS overlays a coarse grid on the data; each point belongs to a cell,
+and a *bitstring* records which cells are non-empty.  A cell is pruned
+when another non-empty cell fully dominates it (every point of the
+dominating cell dominates every point of the pruned cell), and point-level
+dominance tests are restricted to pairs of cells that can actually
+interact.  This reproduces the bitstring pruning idea at the heart of
+MR-GPMRS's local and global phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.point import block_dominates
+from repro.zorder.zbtree import OpCounter
+
+
+def cell_coordinates(
+    points: np.ndarray, splits_per_dim: int, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Map points to integer cell coordinates of a uniform grid."""
+    span = hi - lo
+    span = np.where(span == 0.0, 1.0, span)
+    cells = np.floor((points - lo) / span * splits_per_dim).astype(np.int64)
+    return np.clip(cells, 0, splits_per_dim - 1)
+
+
+def bitstring_skyline(
+    points: np.ndarray,
+    ids: Optional[np.ndarray] = None,
+    counter: Optional[OpCounter] = None,
+    splits_per_dim: int = 4,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skyline via grid-cell bitstring pruning + per-cell filtering.
+
+    Returns ``(skyline_points, skyline_ids)``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    d = points.shape[1] if points.ndim == 2 else 1
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    counter = counter if counter is not None else OpCounter()
+    if n == 0:
+        return points.reshape(0, d), ids
+
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    cells = cell_coordinates(points, splits_per_dim, lo, hi)
+
+    # Bucket points per occupied cell (the "bitstring" is the key set).
+    buckets: Dict[Tuple[int, ...], List[int]] = {}
+    for i in range(n):
+        buckets.setdefault(tuple(cells[i]), []).append(i)
+
+    occupied = list(buckets.keys())
+    occupied_arr = np.asarray(occupied, dtype=np.int64)
+
+    # Cell-level pruning: cell A fully dominates cell B when A's upper
+    # corner is strictly below B's lower corner in every dimension, i.e.
+    # A's cell coordinates are all strictly smaller.
+    pruned: set = set()
+    m = len(occupied)
+    for a in range(m):
+        ca = occupied_arr[a]
+        counter.region_tests += m
+        strictly_below = np.all(occupied_arr > ca, axis=1)
+        for b in np.flatnonzero(strictly_below):
+            pruned.add(occupied[b])
+
+    surviving_cells = [c for c in occupied if c not in pruned]
+
+    # Point-level filtering restricted to interacting cells: a point in
+    # cell B need only be tested against points from cells A with A <= B
+    # componentwise (other cells cannot contain dominators).
+    sky_idx: List[int] = []
+    cell_arr = np.asarray(surviving_cells, dtype=np.int64)
+    for b_pos, cell in enumerate(surviving_cells):
+        cb = cell_arr[b_pos]
+        counter.region_tests += len(surviving_cells)
+        mask = np.all(cell_arr <= cb, axis=1)
+        contender_idx: List[int] = []
+        for a_pos in np.flatnonzero(mask):
+            contender_idx.extend(buckets[surviving_cells[a_pos]])
+        contenders = points[contender_idx]
+        for i in buckets[cell]:
+            counter.point_tests += contenders.shape[0]
+            if not block_dominates(contenders, points[i]).any():
+                sky_idx.append(i)
+    sky_idx_arr = np.asarray(sorted(sky_idx), dtype=np.int64)
+    return points[sky_idx_arr].copy(), ids[sky_idx_arr].copy()

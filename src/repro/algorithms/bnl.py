@@ -1,0 +1,62 @@
+"""Block-nested-loop skyline (Börzsönyi, Kossmann, Stocker [1]).
+
+Maintains a window of incomparable points; each incoming point is compared
+against the window: dominated incoming points are dropped, window points
+dominated by the incoming point are evicted.  The window comparisons are
+vectorised over numpy blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.point import block_dominates, dominates_block
+from repro.zorder.zbtree import OpCounter
+
+
+def bnl_skyline(
+    points: np.ndarray,
+    ids: Optional[np.ndarray] = None,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skyline of ``points`` via block-nested-loop.
+
+    Returns ``(skyline_points, skyline_ids)``.  ``counter`` accrues
+    point-dominance-test counts for the cost model.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n, d = points.shape if points.ndim == 2 else (0, 0)
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    counter = counter if counter is not None else OpCounter()
+    if n == 0:
+        return points.reshape(0, d or 1), ids
+
+    window = np.empty((16, points.shape[1]))
+    window_ids = np.empty(16, dtype=np.int64)
+    size = 0
+    for i in range(n):
+        p = points[i]
+        if size:
+            counter.point_tests += size
+            if block_dominates(window[:size], p).any():
+                continue
+            counter.point_tests += size
+            evict = dominates_block(p, window[:size])
+            if evict.any():
+                keep = ~evict
+                kept = int(keep.sum())
+                window[:kept] = window[:size][keep]
+                window_ids[:kept] = window_ids[:size][keep]
+                size = kept
+        if size == window.shape[0]:
+            window = np.vstack([window, np.empty_like(window)])
+            window_ids = np.concatenate([window_ids, np.empty_like(window_ids)])
+        window[size] = p
+        window_ids[size] = ids[i]
+        size += 1
+    return window[:size].copy(), window_ids[:size].copy()

@@ -1,0 +1,97 @@
+"""Divide & conquer skyline baseline.
+
+Recursively splits the input, computes sub-skylines, and merges them by
+cross-filtering — each side's survivors are the points not dominated by
+the other side's skyline.  Simple and robust; included as the classic
+third baseline family alongside BNL and sort-based.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.point import block_dominates, dominates_block
+from repro.zorder.zbtree import OpCounter
+
+_BASE_CASE = 64
+
+
+def dnc_skyline(
+    points: np.ndarray,
+    ids: Optional[np.ndarray] = None,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skyline of ``points`` via divide & conquer.
+
+    Returns ``(skyline_points, skyline_ids)``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    d = points.shape[1] if points.ndim == 2 else 1
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    counter = counter if counter is not None else OpCounter()
+    if n == 0:
+        return points.reshape(0, d), ids
+    # Sorting by the first dimension makes the two halves roughly
+    # separable, which is what gives D&C its pruning power.
+    order = np.argsort(points[:, 0], kind="stable")
+    return _dnc(points[order], ids[order], counter)
+
+
+def _dnc(
+    points: np.ndarray, ids: np.ndarray, counter: OpCounter
+) -> Tuple[np.ndarray, np.ndarray]:
+    n = points.shape[0]
+    if n <= _BASE_CASE:
+        return _filter_pass(points, ids, counter)
+    mid = n // 2
+    left_pts, left_ids = _dnc(points[:mid], ids[:mid], counter)
+    right_pts, right_ids = _dnc(points[mid:], ids[mid:], counter)
+    # Cross-filter: drop right-side points dominated by the left skyline
+    # and vice versa (both directions needed: the split is on one
+    # dimension only, so dominance can cross either way).
+    right_keep = _not_dominated_by(right_pts, left_pts, counter)
+    left_keep = _not_dominated_by(left_pts, right_pts, counter)
+    merged = np.vstack([left_pts[left_keep], right_pts[right_keep]])
+    merged_ids = np.concatenate([left_ids[left_keep], right_ids[right_keep]])
+    return merged, merged_ids
+
+
+def _not_dominated_by(
+    targets: np.ndarray, against: np.ndarray, counter: OpCounter
+) -> np.ndarray:
+    keep = np.ones(targets.shape[0], dtype=bool)
+    if against.shape[0] == 0:
+        return keep
+    for i in range(targets.shape[0]):
+        counter.point_tests += against.shape[0]
+        if block_dominates(against, targets[i]).any():
+            keep[i] = False
+    return keep
+
+
+def _filter_pass(
+    points: np.ndarray, ids: np.ndarray, counter: OpCounter
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quadratic base case with eviction (the block is only presorted on
+    dimension 0, so a later point can still dominate an earlier one)."""
+    n = points.shape[0]
+    keep: list[int] = []
+    for i in range(n):
+        p = points[i]
+        if keep:
+            block = points[keep]
+            counter.point_tests += 2 * len(keep)
+            if block_dominates(block, p).any():
+                continue
+            evicted = dominates_block(p, block)
+            if evicted.any():
+                keep = [k for k, gone in zip(keep, evicted) if not gone]
+        keep.append(i)
+    idx = np.asarray(keep, dtype=np.int64)
+    return points[idx].copy(), ids[idx].copy()

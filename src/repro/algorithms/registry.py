@@ -1,0 +1,53 @@
+"""Name-based lookup of local skyline algorithms.
+
+The paper refers to local algorithms by short names (SB, ZS); plan strings
+like ``"ZDG+ZS+ZM"`` resolve their middle component here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.bbs import bbs_skyline
+from repro.algorithms.bitstring import bitstring_skyline
+from repro.algorithms.bnl import bnl_skyline
+from repro.algorithms.dnc import dnc_skyline
+from repro.algorithms.salsa import salsa_skyline
+from repro.algorithms.sfs import sort_based_skyline
+from repro.algorithms.zs import zs_skyline
+from repro.core.exceptions import ConfigurationError
+from repro.zorder.zbtree import OpCounter
+
+SkylineAlgorithm = Callable[
+    [np.ndarray, Optional[np.ndarray], Optional[OpCounter]],
+    Tuple[np.ndarray, np.ndarray],
+]
+
+_REGISTRY: Dict[str, SkylineAlgorithm] = {
+    "BNL": bnl_skyline,
+    "SB": sort_based_skyline,
+    "SFS": sort_based_skyline,
+    "ZS": zs_skyline,
+    "DNC": dnc_skyline,
+    "BBS": bbs_skyline,
+    "SALSA": salsa_skyline,
+    "BITSTRING": bitstring_skyline,
+}
+
+
+def get_algorithm(name: str) -> SkylineAlgorithm:
+    """Resolve a paper-style algorithm name (case-insensitive)."""
+    key = name.strip().upper()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown skyline algorithm {name!r}; "
+            f"choose one of {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """Names accepted by :func:`get_algorithm`."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,76 @@
+"""SaLSa: Sort and Limit Skyline algorithm (Bartolini, Ciaccia, Patella).
+
+Like the paper's "SB" it presorts the data, but by ``min`` coordinate
+(with sum as tie-break) and tracks a *stop point*: once the smallest
+possible remaining minimum exceeds the stop point's maximum coordinate,
+no unread point can survive, and the scan terminates early.  On
+correlated data SaLSa reads a fraction of the input — a useful extra
+baseline for the local-algorithm slot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.point import block_dominates
+from repro.zorder.zbtree import OpCounter
+
+
+def salsa_skyline(
+    points: np.ndarray,
+    ids: Optional[np.ndarray] = None,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skyline via SaLSa (sorted scan with early termination).
+
+    Returns ``(skyline_points, skyline_ids)`` in scan order.  The
+    counter's ``nodes_visited`` records how many input points were
+    actually read before the stop condition fired.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    d = points.shape[1] if points.ndim == 2 else 1
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    counter = counter if counter is not None else OpCounter()
+    if n == 0:
+        return points.reshape(0, d), ids
+
+    mins = points.min(axis=1)
+    sums = points.sum(axis=1)
+    order = np.lexsort((sums, mins))
+    sorted_points = points[order]
+    sorted_ids = ids[order]
+    sorted_mins = mins[order]
+
+    window = np.empty((16, d))
+    window_ids = np.empty(16, dtype=np.int64)
+    size = 0
+    # Stop threshold: the smallest max-coordinate among skyline points
+    # found so far.  Any unread point has min coordinate >= the current
+    # sorted_mins value; if that already exceeds the threshold, the
+    # stop point dominates every unread point.
+    stop_threshold = np.inf
+    for i in range(n):
+        if sorted_mins[i] > stop_threshold:
+            break
+        counter.nodes_visited += 1
+        p = sorted_points[i]
+        if size:
+            counter.point_tests += size
+            if block_dominates(window[:size], p).any():
+                continue
+        if size == window.shape[0]:
+            window = np.vstack([window, np.empty_like(window)])
+            window_ids = np.concatenate(
+                [window_ids, np.empty_like(window_ids)]
+            )
+        window[size] = p
+        window_ids[size] = sorted_ids[i]
+        size += 1
+        stop_threshold = min(stop_threshold, float(p.max()))
+    return window[:size].copy(), window_ids[:size].copy()

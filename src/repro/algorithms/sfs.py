@@ -1,0 +1,58 @@
+"""Sort-based skyline — the paper's "SB" local algorithm.
+
+Presorts points by a monotone score (coordinate sum): after the sort, a
+point can only be dominated by points that come *before* it, so a single
+forward pass with a grow-only window is exact (no evictions, unlike plain
+BNL).  This is the classic sort-first-skyline idea (Chomicki et al.).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.point import block_dominates
+from repro.zorder.zbtree import OpCounter
+
+
+def sort_based_skyline(
+    points: np.ndarray,
+    ids: Optional[np.ndarray] = None,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skyline of ``points`` via sort + single filter pass.
+
+    Returns ``(skyline_points, skyline_ids)`` in score order.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    d = points.shape[1] if points.ndim == 2 else 1
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    counter = counter if counter is not None else OpCounter()
+    if n == 0:
+        return points.reshape(0, d), ids
+
+    order = np.argsort(points.sum(axis=1), kind="stable")
+    sorted_points = points[order]
+    sorted_ids = ids[order]
+
+    window = np.empty((16, d))
+    window_ids = np.empty(16, dtype=np.int64)
+    size = 0
+    for i in range(n):
+        p = sorted_points[i]
+        if size:
+            counter.point_tests += size
+            if block_dominates(window[:size], p).any():
+                continue
+        if size == window.shape[0]:
+            window = np.vstack([window, np.empty_like(window)])
+            window_ids = np.concatenate([window_ids, np.empty_like(window_ids)])
+        window[size] = p
+        window_ids[size] = sorted_ids[i]
+        size += 1
+    return window[:size].copy(), window_ids[:size].copy()

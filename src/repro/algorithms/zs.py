@@ -1,0 +1,40 @@
+"""Z-search exposed under the common local-algorithm signature ("ZS")."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.zbtree import OpCounter, build_zbtree
+from repro.zorder.zsearch import zsearch
+
+
+def zs_skyline(
+    points: np.ndarray,
+    ids: Optional[np.ndarray] = None,
+    counter: Optional[OpCounter] = None,
+    codec: Optional[ZGridCodec] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skyline via ZB-tree + Z-search.
+
+    ``points`` must hold integer grid coordinates (the pipeline quantises
+    datasets once up front).  A wide-enough identity codec is derived when
+    none is supplied.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    d = points.shape[1] if points.ndim == 2 else 1
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    if n == 0:
+        return points.reshape(0, d), ids
+    if codec is None:
+        top = int(points.max())
+        bits = max(1, top.bit_length())
+        codec = ZGridCodec.grid_identity(d, bits_per_dim=bits)
+    tree = build_zbtree(codec, points, ids=ids)
+    return zsearch(tree, counter=counter)

@@ -1,0 +1,33 @@
+"""Workload analysis: the measurements behind the paper's Example 2.
+
+Example 2 studies *where skyline points live* for NBA- and HOU-style
+data: that distribution is what motivates partition grouping.  This
+package computes skyline distribution histograms over partitions,
+dominance-depth statistics, and renders text reports for quick
+inspection (no plotting dependencies).
+"""
+
+from repro.analysis.cardinality import (
+    capture_recapture_estimate,
+    harmonic_estimate,
+    sample_scaling_estimate,
+)
+from repro.analysis.distribution import (
+    dominance_depth_profile,
+    skyline_partition_histogram,
+    workload_profile,
+)
+from repro.analysis.plots import ascii_scatter
+from repro.analysis.report import render_histogram, render_profile
+
+__all__ = [
+    "ascii_scatter",
+    "capture_recapture_estimate",
+    "dominance_depth_profile",
+    "harmonic_estimate",
+    "render_histogram",
+    "render_profile",
+    "sample_scaling_estimate",
+    "skyline_partition_histogram",
+    "workload_profile",
+]

@@ -1,0 +1,48 @@
+"""Plain-text rendering for the analysis statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.analysis.distribution import DominanceDepthProfile
+
+_BAR_WIDTH = 40
+
+
+def render_histogram(
+    histogram: Mapping[int, Dict[str, int]], title: str = "skyline histogram"
+) -> str:
+    """Render a per-group points/skyline histogram as aligned bars."""
+    lines = [f"== {title} =="]
+    if not histogram:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    top = max(bucket["points"] for bucket in histogram.values()) or 1
+    for gid in sorted(histogram):
+        bucket = histogram[gid]
+        bar = "#" * max(1, round(bucket["points"] / top * _BAR_WIDTH))
+        label = "dropped" if gid < 0 else f"group {gid:3d}"
+        lines.append(
+            f"{label}: {bar:<{_BAR_WIDTH}} "
+            f"points={bucket['points']:6d} skyline={bucket['skyline']:5d}"
+        )
+    return "\n".join(lines)
+
+
+def render_profile(profile: DominanceDepthProfile) -> str:
+    """Render a dominance-depth profile."""
+    lines = [
+        "== dominance depth profile ==",
+        f"skyline size : {profile.skyline_size}",
+        f"max depth    : {profile.max_depth}",
+        f"mean depth   : {profile.mean_depth:.2f}",
+    ]
+    shown = sorted(profile.depth_histogram)[:10]
+    top = max(profile.depth_histogram.values()) or 1
+    for depth in shown:
+        count = profile.depth_histogram[depth]
+        bar = "#" * max(1, round(count / top * _BAR_WIDTH))
+        lines.append(f"depth {depth:4d}: {bar} {count}")
+    if len(profile.depth_histogram) > 10:
+        lines.append(f"... {len(profile.depth_histogram) - 10} more depths")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Benchmark harness and per-figure experiment definitions.
+
+Every figure in the paper's §6 has an experiment function in
+:mod:`repro.bench.experiments` that regenerates its rows/series;
+:mod:`repro.bench.harness` provides the sweep runner, result table, and
+pretty-printing shared by the CLI and the ``benchmarks/`` pytest suite.
+"""
+
+from repro.bench.harness import (
+    BenchScale,
+    ResultTable,
+    run_plan_measured,
+)
+
+__all__ = ["BenchScale", "ResultTable", "run_plan_measured"]

@@ -1,0 +1,275 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each isolates one knob of the
+system and measures what it buys.
+
+* **SZB prefilter** — Algorithm 3's mapper-side screen against the
+  sample skyline: shuffle volume and candidate count with and without;
+* **partition expansion factor** (``delta``, §4.2) — how much
+  over-partitioning the grouping algorithms need;
+* **grid resolution** (``bits_per_dim``) — Z-address length versus
+  pruning precision;
+* **ZB-tree geometry** — leaf capacity / fanout versus Z-search cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.bench.harness import BenchScale, ResultTable
+from repro.data.synthetic import generate
+from repro.pipeline.driver import EngineConfig, SkylineEngine
+from repro.pipeline.plans import parse_plan
+from repro.zorder.encoding import quantize_dataset
+from repro.zorder.zbtree import OpCounter, build_zbtree
+from repro.zorder.zsearch import zsearch
+
+
+def prefilter_ablation(
+    distribution: str = "independent",
+    scale: Optional[BenchScale] = None,
+    dimensions: int = 5,
+    size_m: float = 50,
+    num_groups: int = 32,
+    seed: int = 0,
+) -> ResultTable:
+    """ZDG+ZS+ZM with the SZB mapper prefilter on vs off."""
+    scale = scale or BenchScale.from_env()
+    n = scale.size(size_m)
+    ds = generate(distribution, n, dimensions, seed=seed)
+    table = ResultTable(
+        f"Ablation: SZB prefilter ({distribution}, n={n})",
+        ["prefilter", "shuffle_records", "candidates", "makespan_cost",
+         "map_cost"],
+    )
+    base_plan = parse_plan("ZDG+ZS+ZM")
+    for prefilter in (True, False):
+        plan = dataclasses.replace(base_plan, prefilter=prefilter)
+        config = EngineConfig(
+            plan=plan, num_groups=num_groups, seed=seed
+        )
+        report = SkylineEngine(config).run(ds)
+        table.add(
+            prefilter=prefilter,
+            shuffle_records=report.shuffle_records,
+            candidates=report.num_candidates,
+            makespan_cost=report.makespan_cost,
+            map_cost=report.phase1.map_metrics.total_cost,
+        )
+    return table
+
+
+def expansion_ablation(
+    distribution: str = "anticorrelated",
+    scale: Optional[BenchScale] = None,
+    dimensions: int = 6,
+    size_m: float = 50,
+    num_groups: int = 32,
+    seed: int = 0,
+    expansions: Sequence[int] = (1, 2, 4, 8),
+) -> ResultTable:
+    """Effect of the partition expansion factor delta on ZDG."""
+    scale = scale or BenchScale.from_env()
+    n = scale.size(size_m)
+    ds = generate(distribution, n, dimensions, seed=seed)
+    table = ResultTable(
+        f"Ablation: expansion factor delta ({distribution}, n={n})",
+        ["delta", "num_groups", "reducer_skew", "candidates",
+         "preprocess_s"],
+    )
+    for delta in expansions:
+        config = EngineConfig(
+            plan=parse_plan("ZDG+ZS+ZM"), num_groups=num_groups,
+            expansion=delta, seed=seed,
+        )
+        report = SkylineEngine(config).run(ds)
+        table.add(
+            delta=delta,
+            num_groups=report.details["num_groups"],
+            reducer_skew=round(report.reducer_skew, 3),
+            candidates=report.num_candidates,
+            preprocess_s=round(report.preprocess_seconds, 4),
+        )
+    return table
+
+
+def bits_ablation(
+    distribution: str = "independent",
+    scale: Optional[BenchScale] = None,
+    dimensions: int = 5,
+    size_m: float = 20,
+    seed: int = 0,
+    bit_widths: Sequence[int] = (4, 8, 12, 16),
+) -> ResultTable:
+    """Grid resolution: quantisation collisions vs Z-address length."""
+    scale = scale or BenchScale.from_env()
+    n = scale.size(size_m)
+    ds = generate(distribution, n, dimensions, seed=seed)
+    table = ResultTable(
+        f"Ablation: bits per dimension ({distribution}, n={n})",
+        ["bits", "distinct_cells", "skyline", "makespan_cost"],
+    )
+    for bits in bit_widths:
+        snapped, _codec = quantize_dataset(ds, bits_per_dim=bits)
+        distinct = len({tuple(row) for row in snapped.points})
+        config = EngineConfig(
+            plan=parse_plan("ZDG+ZS+ZM"), num_groups=16,
+            bits_per_dim=bits, seed=seed,
+        )
+        report = SkylineEngine(config).run(ds)
+        table.add(
+            bits=bits,
+            distinct_cells=distinct,
+            skyline=report.skyline_size,
+            makespan_cost=report.makespan_cost,
+        )
+    return table
+
+
+def grouping_source_ablation(
+    distribution: str = "independent",
+    scale: Optional[BenchScale] = None,
+    dimensions: int = 6,
+    size_m: float = 50,
+    num_groups: int = 32,
+    seed: int = 0,
+) -> ResultTable:
+    """Is the win the Z-curve, the grouping, or both?
+
+    Crosses base partitioners with dominance grouping: plain Grid/Angle,
+    their generically-grouped variants, and the paper's ZDG.  All
+    grouped variants use the SZB prefilter, so differences isolate the
+    partition geometry and the grouping itself.
+    """
+    scale = scale or BenchScale.from_env()
+    n = scale.size(size_m)
+    ds = generate(distribution, n, dimensions, seed=seed)
+    table = ResultTable(
+        f"Ablation: grouping source ({distribution}, d={dimensions}, n={n})",
+        ["plan", "candidates", "reducer_skew", "makespan_cost"],
+    )
+    for plan in (
+        "Grid+ZS",
+        "Grid-Grouped+ZS+ZM",
+        "Angle+ZS",
+        "Angle-Grouped+ZS+ZM",
+        "Naive-Z+ZS+ZM",
+        "ZDG+ZS+ZM",
+    ):
+        config = EngineConfig(
+            plan=parse_plan(plan), num_groups=num_groups, seed=seed
+        )
+        report = SkylineEngine(config).run(ds)
+        table.add(
+            plan=plan,
+            candidates=report.num_candidates,
+            reducer_skew=round(report.reducer_skew, 3),
+            makespan_cost=report.makespan_cost,
+        )
+    return table
+
+
+def local_algorithm_ablation(
+    scale: Optional[BenchScale] = None,
+    dimensions: int = 5,
+    size_m: float = 20,
+    seed: int = 0,
+) -> ResultTable:
+    """Centralized skyline algorithms head to head on one node.
+
+    The full baseline family (BNL, SB, SaLSa, D&C, BBS, Z-search) per
+    distribution — the classic comparison table every skyline paper
+    opens with, measured in dominance-test cost units.
+    """
+    from repro.algorithms.registry import get_algorithm
+    from repro.zorder.zbtree import OpCounter
+
+    scale = scale or BenchScale.from_env()
+    n = scale.size(size_m)
+    table = ResultTable(
+        f"Ablation: centralized algorithms (n={n}, d={dimensions})",
+        ["distribution", "algorithm", "cost", "skyline"],
+    )
+    for distribution in ("correlated", "independent", "anticorrelated"):
+        ds = generate(distribution, n, dimensions, seed=seed)
+        snapped, _codec = quantize_dataset(ds, bits_per_dim=12)
+        for name in ("BNL", "SB", "SALSA", "DNC", "BBS", "ZS"):
+            algorithm = get_algorithm(name)
+            counter = OpCounter()
+            sky, _ = algorithm(snapped.points, snapped.ids, counter)
+            table.add(
+                distribution=distribution,
+                algorithm=name,
+                cost=counter.total(),
+                skyline=sky.shape[0],
+            )
+    return table
+
+
+def parallel_merge_ablation(
+    distribution: str = "anticorrelated",
+    scale: Optional[BenchScale] = None,
+    dimensions: int = 5,
+    size_m: float = 50,
+    num_groups: int = 32,
+    seed: int = 0,
+) -> ResultTable:
+    """Extension: single-reducer Z-merge (ZM, the paper's §5.3) vs the
+    two-level parallel merge (ZMP)."""
+    scale = scale or BenchScale.from_env()
+    n = scale.size(size_m)
+    ds = generate(distribution, n, dimensions, seed=seed)
+    table = ResultTable(
+        f"Ablation: parallel Z-merge ({distribution}, n={n})",
+        ["merge", "merge_makespan", "merge_total", "makespan_cost",
+         "skyline"],
+    )
+    for merge in ("ZM", "ZMP"):
+        config = EngineConfig(
+            plan=parse_plan(f"ZDG+ZS+{merge}"), num_groups=num_groups,
+            seed=seed,
+        )
+        report = SkylineEngine(config).run(ds)
+        table.add(
+            merge=merge,
+            merge_makespan=report.merge_makespan_cost,
+            merge_total=report.merge_cost,
+            makespan_cost=report.makespan_cost,
+            skyline=report.skyline_size,
+        )
+    return table
+
+
+def tree_geometry_ablation(
+    distribution: str = "anticorrelated",
+    scale: Optional[BenchScale] = None,
+    dimensions: int = 5,
+    size_m: float = 20,
+    seed: int = 0,
+    geometries: Sequence[tuple] = ((8, 4), (32, 8), (128, 16)),
+) -> ResultTable:
+    """ZB-tree leaf capacity / fanout versus Z-search work."""
+    scale = scale or BenchScale.from_env()
+    n = scale.size(size_m)
+    ds = generate(distribution, n, dimensions, seed=seed)
+    snapped, codec = quantize_dataset(ds, bits_per_dim=12)
+    table = ResultTable(
+        f"Ablation: ZB-tree geometry ({distribution}, n={n})",
+        ["leaf_capacity", "fanout", "height", "zsearch_cost", "skyline"],
+    )
+    for leaf_capacity, fanout in geometries:
+        tree = build_zbtree(
+            codec, snapped.points, ids=snapped.ids,
+            leaf_capacity=leaf_capacity, fanout=fanout,
+        )
+        counter = OpCounter()
+        sky, _ = zsearch(tree, counter)
+        table.add(
+            leaf_capacity=leaf_capacity,
+            fanout=fanout,
+            height=tree.height(),
+            zsearch_cost=counter.total(),
+            skyline=sky.shape[0],
+        )
+    return table

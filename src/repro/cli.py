@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-skyline run --plan ZDG+ZS+ZM --dist anticorrelated -n 20000 -d 5
+    repro-skyline experiment fig7a
+    repro-skyline experiment all --csv-dir results/
+    repro-skyline list
+
+(Equivalently ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.bench import experiments
+from repro.bench.harness import BenchScale, ResultTable, run_plan_measured
+from repro.data.synthetic import generate
+
+#: experiment name -> zero-config callable returning a ResultTable
+EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
+    "fig7a": lambda: experiments.fig7_size_sweep("independent"),
+    "fig7b": lambda: experiments.fig7_size_sweep("anticorrelated"),
+    "fig7c": lambda: experiments.fig7_dims_sweep("independent"),
+    "fig7d": lambda: experiments.fig7_dims_sweep("anticorrelated"),
+    "fig8a": lambda: experiments.fig8_merge_size_sweep("independent"),
+    "fig8b": lambda: experiments.fig8_merge_size_sweep("anticorrelated"),
+    "fig8c": lambda: experiments.fig8_merge_dims_sweep("independent"),
+    "fig8d": lambda: experiments.fig8_merge_dims_sweep("anticorrelated"),
+    "fig9": lambda: experiments.fig9_candidates("independent"),
+    "fig9-anti": lambda: experiments.fig9_candidates("anticorrelated"),
+    "fig10": lambda: experiments.fig10_partition_count_sweep(),
+    "fig11": lambda: experiments.fig11_realworld(),
+    "fig12": lambda: experiments.fig12_scalability(),
+    "fig13": lambda: experiments.fig13_sampling(),
+    "load-balance": lambda: experiments.load_balance_metrics(),
+    "pruning": lambda: experiments.pruning_analysis(),
+    "worker-scaling": lambda: experiments.worker_scaling(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline",
+        description=(
+            "Parallel skyline query processing (ICDE 2019 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one plan on a synthetic dataset")
+    run.add_argument("--plan", default="ZDG+ZS+ZM")
+    run.add_argument(
+        "--dist",
+        default="independent",
+        choices=["independent", "correlated", "anticorrelated"],
+    )
+    run.add_argument("-n", "--num-points", type=int, default=20_000)
+    run.add_argument("-d", "--dimensions", type=int, default=5)
+    run.add_argument("--groups", type=int, default=32)
+    run.add_argument("--workers", type=int, default=8)
+    run.add_argument("--sample-ratio", type=float, default=0.02)
+    run.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser(
+        "experiment", help="regenerate a paper figure's rows"
+    )
+    exp.add_argument(
+        "name", choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (figure) or 'all'",
+    )
+    exp.add_argument(
+        "--csv-dir", default=None, help="also write each table as CSV here"
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="profile a workload and recommend a plan"
+    )
+    analyze.add_argument(
+        "--dist",
+        default="independent",
+        choices=["independent", "correlated", "anticorrelated"],
+    )
+    analyze.add_argument("-n", "--num-points", type=int, default=5_000)
+    analyze.add_argument("-d", "--dimensions", type=int, default=5)
+    analyze.add_argument("--csv", default=None,
+                         help="analyze a CSV dataset instead")
+    analyze.add_argument("--workers", type=int, default=8)
+    analyze.add_argument("--seed", type=int, default=0)
+
+    estimate = sub.add_parser(
+        "estimate", help="estimate skyline cardinality without computing it"
+    )
+    estimate.add_argument(
+        "--dist",
+        default="independent",
+        choices=["independent", "correlated", "anticorrelated"],
+    )
+    estimate.add_argument("-n", "--num-points", type=int, default=20_000)
+    estimate.add_argument("-d", "--dimensions", type=int, default=5)
+    estimate.add_argument("--sample-ratio", type=float, default=0.05)
+    estimate.add_argument("--seed", type=int, default=0)
+
+    cmp_parser = sub.add_parser(
+        "compare", help="run every strategy on one dataset"
+    )
+    cmp_parser.add_argument(
+        "--dist",
+        default="independent",
+        choices=["independent", "correlated", "anticorrelated"],
+    )
+    cmp_parser.add_argument("-n", "--num-points", type=int, default=10_000)
+    cmp_parser.add_argument("-d", "--dimensions", type=int, default=6)
+    cmp_parser.add_argument("--groups", type=int, default=32)
+    cmp_parser.add_argument("--workers", type=int, default=8)
+    cmp_parser.add_argument("--seed", type=int, default=0)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run all claim checks and write a reproduction report",
+    )
+    reproduce.add_argument(
+        "--out", default="REPRODUCTION_REPORT.md",
+        help="markdown report path",
+    )
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    dataset = generate(
+        args.dist, args.num_points, args.dimensions, seed=args.seed
+    )
+    report = run_plan_measured(
+        args.plan,
+        dataset,
+        num_groups=args.groups,
+        num_workers=args.workers,
+        sample_ratio=args.sample_ratio,
+        seed=args.seed,
+    )
+    print(f"dataset   : {dataset.name}")
+    for key, value in report.summary().items():
+        print(f"{key:14s}: {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        table = EXPERIMENTS[name]()
+        print(table.render())
+        print()
+        if args.csv_dir:
+            os.makedirs(args.csv_dir, exist_ok=True)
+            table.to_csv(os.path.join(args.csv_dir, f"{name}.csv"))
+    return 0
+
+
+def _cmd_list() -> int:
+    scale = BenchScale.from_env()
+    print(f"bench scale factor: {scale.factor} (REPRO_BENCH_SCALE)")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import workload_profile
+    from repro.pipeline.advisor import advise
+
+    if args.csv:
+        from repro.data.io import load_csv
+
+        dataset = load_csv(args.csv)
+    else:
+        dataset = generate(
+            args.dist, args.num_points, args.dimensions, seed=args.seed
+        )
+    print(f"dataset: {dataset.name}")
+    for key, value in workload_profile(dataset).items():
+        print(f"  {key:26s}: {value:.4f}")
+    advice = advise(dataset, num_workers=args.workers, seed=args.seed)
+    print(f"\nrecommended plan : {advice.plan_string()}")
+    print(f"recommended groups: {advice.num_groups}")
+    for line in advice.rationale:
+        print(f"  - {line}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.analysis.cardinality import (
+        capture_recapture_estimate,
+        harmonic_estimate,
+        sample_scaling_estimate,
+    )
+
+    dataset = generate(
+        args.dist, args.num_points, args.dimensions, seed=args.seed
+    )
+    print(f"dataset: {dataset.name}")
+    print(
+        f"  independence formula : "
+        f"{harmonic_estimate(dataset.size, dataset.dimensions):.0f}"
+    )
+    print(
+        f"  sample scaling       : "
+        f"{sample_scaling_estimate(dataset, args.sample_ratio, args.seed):.0f}"
+    )
+    print(
+        f"  capture-recapture    : "
+        f"{capture_recapture_estimate(dataset, min(args.sample_ratio, 0.5), args.seed):.0f}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.pipeline.compare import compare_plans
+
+    dataset = generate(
+        args.dist, args.num_points, args.dimensions, seed=args.seed
+    )
+    table = compare_plans(
+        dataset,
+        num_groups=args.groups,
+        num_workers=args.workers,
+        seed=args.seed,
+    )
+    print(table.render())
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    return _cmd_list()
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.bench.reproduce import run_reproduction
+
+    report = run_reproduction()
+    markdown = report.render_markdown()
+    with open(args.out, "w") as handle:
+        handle.write(markdown)
+    print(markdown)
+    print(f"report written to {args.out}")
+    return 0 if report.passed == report.total else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

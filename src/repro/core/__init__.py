@@ -1,0 +1,52 @@
+"""Core data model: points, dominance, datasets, and the skyline oracle.
+
+Everything in the rest of the library is built on three ideas defined here:
+
+* a *point* is a fixed-length vector of numeric attributes where smaller
+  values are preferred in every dimension (the paper's hotel example:
+  distance and price are both minimised);
+* *dominance* (:func:`repro.core.point.dominates`): ``p`` dominates ``q``
+  when ``p`` is no worse in every dimension and strictly better in at least
+  one;
+* the *skyline* of a dataset is the set of points not dominated by any other
+  point (:func:`repro.core.skyline.skyline_oracle` computes it with a simple,
+  obviously-correct algorithm used to verify every other implementation).
+"""
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import (
+    ConfigurationError,
+    DatasetError,
+    ReproError,
+    ZOrderError,
+)
+from repro.core.point import (
+    DominanceRelation,
+    compare,
+    dominance_counts,
+    dominates,
+    dominates_or_equal,
+    strictly_dominates,
+)
+from repro.core.skyline import (
+    is_skyline_of,
+    skyline_indices_oracle,
+    skyline_oracle,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "Dataset",
+    "DatasetError",
+    "DominanceRelation",
+    "ReproError",
+    "ZOrderError",
+    "compare",
+    "dominance_counts",
+    "dominates",
+    "dominates_or_equal",
+    "is_skyline_of",
+    "skyline_indices_oracle",
+    "skyline_oracle",
+    "strictly_dominates",
+]

@@ -1,0 +1,170 @@
+"""The :class:`Dataset` container.
+
+A dataset is an immutable ``(n, d)`` float64 matrix plus stable integer row
+identifiers.  Identifiers survive partitioning, shuffling, and merging, so a
+skyline result can always be traced back to the original input rows — the
+distributed pipeline moves ``(id, point)`` records around, exactly like rows
+with keys in the paper's MapReduce implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+
+
+class Dataset:
+    """An immutable multidimensional dataset with stable row identifiers.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, d)``; copied and frozen.
+    ids:
+        Optional integer identifiers, one per row.  Defaults to
+        ``0..n-1``.  Must be unique.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    __slots__ = ("_points", "_ids", "name")
+
+    def __init__(
+        self,
+        points: Sequence[Sequence[float]],
+        ids: Optional[Sequence[int]] = None,
+        name: str = "dataset",
+    ) -> None:
+        arr = np.array(points, dtype=np.float64, copy=True)
+        if arr.ndim != 2:
+            raise DatasetError(
+                f"points must be 2-D (n, d); got shape {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            raise DatasetError("dataset must contain at least one point")
+        if arr.shape[1] == 0:
+            raise DatasetError("dataset must have at least one dimension")
+        if not np.isfinite(arr).all():
+            raise DatasetError("dataset contains NaN or infinite values")
+        if ids is None:
+            id_arr = np.arange(arr.shape[0], dtype=np.int64)
+        else:
+            id_arr = np.array(ids, dtype=np.int64, copy=True)
+            if id_arr.shape != (arr.shape[0],):
+                raise DatasetError(
+                    "ids must be a 1-D array with one entry per point; got "
+                    f"shape {id_arr.shape} for {arr.shape[0]} points"
+                )
+            if len(np.unique(id_arr)) != len(id_arr):
+                raise DatasetError("ids must be unique")
+        arr.setflags(write=False)
+        id_arr.setflags(write=False)
+        self._points = arr
+        self._ids = id_arr
+        self.name = name
+
+    @property
+    def points(self) -> np.ndarray:
+        """The read-only ``(n, d)`` point matrix."""
+        return self._points
+
+    @property
+    def ids(self) -> np.ndarray:
+        """The read-only ``(n,)`` identifier vector."""
+        return self._ids
+
+    @property
+    def size(self) -> int:
+        """Number of points ``n``."""
+        return int(self._points.shape[0])
+
+    @property
+    def dimensions(self) -> int:
+        """Number of dimensions ``d``."""
+        return int(self._points.shape[1])
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Iterate over ``(id, point)`` pairs."""
+        for i in range(self.size):
+            yield int(self._ids[i]), self._points[i]
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, n={self.size}, "
+            f"d={self.dimensions})"
+        )
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the bounding box as ``(mins, maxs)`` arrays."""
+        return self._points.min(axis=0), self._points.max(axis=0)
+
+    def select(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """Return a sub-dataset of the given row *positions* (not ids)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise DatasetError("cannot select an empty subset")
+        return Dataset(
+            self._points[idx],
+            ids=self._ids[idx],
+            name=name or f"{self.name}[subset]",
+        )
+
+    def select_by_mask(self, mask: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Return a sub-dataset of rows where ``mask`` is True."""
+        if mask.dtype != np.bool_ or mask.shape != (self.size,):
+            raise DatasetError("mask must be a boolean array of length n")
+        return self.select(np.flatnonzero(mask), name=name)
+
+    @staticmethod
+    def concat(parts: Sequence["Dataset"], name: str = "concat") -> "Dataset":
+        """Concatenate datasets, preserving ids (which must stay unique)."""
+        if not parts:
+            raise DatasetError("cannot concatenate zero datasets")
+        dims = {p.dimensions for p in parts}
+        if len(dims) != 1:
+            raise DatasetError(f"dimension mismatch across parts: {dims}")
+        points = np.vstack([p.points for p in parts])
+        ids = np.concatenate([p.ids for p in parts])
+        return Dataset(points, ids=ids, name=name)
+
+    def oriented(self, directions: Sequence[str]) -> "Dataset":
+        """Return a copy with 'max' dimensions flipped to minimisation.
+
+        The library minimises every dimension; real data often mixes
+        goals (minimise price, *maximise* rating).  ``directions`` gives
+        one of ``"min"`` / ``"max"`` per dimension; max dimensions are
+        reflected as ``column_max - value`` so smaller stays better and
+        values remain non-negative.
+        """
+        if len(directions) != self.dimensions:
+            raise DatasetError(
+                f"need {self.dimensions} directions; got {len(directions)}"
+            )
+        flipped = self._points.copy()
+        for k, direction in enumerate(directions):
+            if direction == "max":
+                flipped[:, k] = flipped[:, k].max() - flipped[:, k]
+            elif direction != "min":
+                raise DatasetError(
+                    f"direction must be 'min' or 'max'; got {direction!r}"
+                )
+        return Dataset(flipped, ids=self._ids, name=f"{self.name}[oriented]")
+
+    def normalized(self) -> "Dataset":
+        """Return a copy scaled to the unit hypercube per dimension.
+
+        Constant dimensions map to 0.  Used by the grid partitioner, which
+        follows the paper in normalising values by projection before
+        assigning grid cells.
+        """
+        lo, hi = self.bounds()
+        span = hi - lo
+        span[span == 0.0] = 1.0
+        scaled = (self._points - lo) / span
+        return Dataset(scaled, ids=self._ids, name=f"{self.name}[norm]")

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class at an API boundary while tests can assert on specific
+subclasses.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed dataset inputs (wrong shape, empty, NaN...)."""
+
+
+class ZOrderError(ReproError):
+    """Raised for invalid Z-order encoding parameters or addresses."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an engine/partitioner configuration is inconsistent."""
+
+
+class PartitioningError(ReproError):
+    """Raised when a partitioner cannot produce a valid assignment."""
+
+
+class MapReduceError(ReproError):
+    """Raised by the simulated MapReduce runtime for invalid job specs."""

@@ -1,0 +1,72 @@
+"""Reference skyline oracle.
+
+A deliberately simple, vectorised skyline used to verify every other
+algorithm in the library.  It is quadratic in the worst case but fast enough
+(numpy inner loop) for the test and benchmark sizes we use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+
+def skyline_indices_oracle(points: np.ndarray) -> np.ndarray:
+    """Return the sorted row indices of the skyline of ``points``.
+
+    Duplicate points are handled the way the dominance definition implies:
+    exact duplicates do not dominate each other, so all copies of a
+    non-dominated point are part of the skyline.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    # Sort by sum of coordinates: a point can only be dominated by a point
+    # with a smaller-or-equal coordinate sum, so scanning in sum order lets
+    # each point be tested only against the survivors found so far.
+    order = np.argsort(points.sum(axis=1), kind="stable")
+    survivors: list[int] = []
+    for idx in order:
+        p = points[idx]
+        if survivors:
+            block = points[survivors]
+            if dominates_block_any(block, p):
+                continue
+        survivors.append(int(idx))
+    return np.sort(np.array(survivors, dtype=np.int64))
+
+
+def dominates_block_any(block: np.ndarray, p: np.ndarray) -> bool:
+    """Return True when any row of ``block`` dominates ``p``."""
+    le = np.all(block <= p, axis=1)
+    if not le.any():
+        return False
+    lt = np.any(block[le] < p, axis=1)
+    return bool(lt.any())
+
+
+def skyline_oracle(points: np.ndarray) -> np.ndarray:
+    """Return the skyline rows of ``points`` (sorted by original index)."""
+    idx = skyline_indices_oracle(points)
+    return np.asarray(points, dtype=np.float64)[idx]
+
+
+def is_skyline_of(candidate: np.ndarray, points: np.ndarray) -> bool:
+    """Check whether ``candidate`` equals the skyline of ``points``.
+
+    Comparison is as *multisets of rows*, so candidate row order does not
+    matter.  Useful in tests where an algorithm returns points in its own
+    order.
+    """
+    expected = skyline_oracle(points)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if candidate.shape != expected.shape:
+        return False
+    if candidate.size == 0:
+        return True
+
+    def canonical(a: np.ndarray) -> np.ndarray:
+        return a[np.lexsort(a.T[::-1])]
+
+    return bool(np.array_equal(canonical(candidate), canonical(expected)))

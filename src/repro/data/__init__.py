@@ -1,0 +1,40 @@
+"""Workload generators.
+
+* :mod:`repro.data.synthetic` — the three classic Börzsönyi et al.
+  distributions (independent, correlated, anti-correlated) used in every
+  skyline paper's evaluation, including this one;
+* :mod:`repro.data.realworld` — statistical simulators standing in for
+  the paper's real datasets (NBA, HOU, NUS-WIDE, Flickr/GIST,
+  DBpedia/LDA), matching their dimensionality and distribution class (see
+  DESIGN.md §2 for the substitution rationale);
+* :mod:`repro.data.scaling` — the paper's scale-factor protocol
+  (``s ∈ [5, 25]``): grow a dataset while preserving its distribution.
+"""
+
+from repro.data.realworld import (
+    dbpedia_lda_like,
+    flickr_gist_like,
+    hou_like,
+    nba_like,
+    nuswide_like,
+)
+from repro.data.scaling import scale_up
+from repro.data.synthetic import (
+    anticorrelated,
+    correlated,
+    generate,
+    independent,
+)
+
+__all__ = [
+    "anticorrelated",
+    "correlated",
+    "dbpedia_lda_like",
+    "flickr_gist_like",
+    "generate",
+    "hou_like",
+    "independent",
+    "nba_like",
+    "nuswide_like",
+    "scale_up",
+]

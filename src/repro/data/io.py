@@ -1,0 +1,83 @@
+"""Dataset import/export.
+
+Real deployments feed the engine CSV extracts (the paper's NBA/HOU
+datasets are exactly that); these helpers round-trip
+:class:`~repro.core.dataset.Dataset` objects through CSV with an
+optional id column and header.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import DatasetError
+
+ID_COLUMN = "id"
+
+
+def save_csv(
+    dataset: Dataset,
+    path: str,
+    column_names: Optional[Sequence[str]] = None,
+    include_ids: bool = True,
+) -> None:
+    """Write a dataset as CSV (header + one row per point)."""
+    d = dataset.dimensions
+    if column_names is None:
+        column_names = [f"dim_{k}" for k in range(d)]
+    elif len(column_names) != d:
+        raise DatasetError(
+            f"need {d} column names; got {len(column_names)}"
+        )
+    if ID_COLUMN in column_names:
+        raise DatasetError(f"{ID_COLUMN!r} is reserved for the id column")
+    header = ([ID_COLUMN] if include_ids else []) + list(column_names)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for pid, point in dataset:
+            row: List[object] = [pid] if include_ids else []
+            row.extend(repr(float(v)) for v in point)
+            writer.writerow(row)
+
+
+def load_csv(path: str, name: Optional[str] = None) -> Dataset:
+    """Read a dataset written by :func:`save_csv` (or any numeric CSV
+    with a header; a leading ``id`` column is honoured)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path}: empty file") from None
+        has_ids = bool(header) and header[0] == ID_COLUMN
+        ids: List[int] = []
+        rows: List[List[float]] = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                if has_ids:
+                    ids.append(int(row[0]))
+                    rows.append([float(v) for v in row[1:]])
+                else:
+                    rows.append([float(v) for v in row])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{line_no}: non-numeric value ({exc})"
+                ) from None
+    if not rows:
+        raise DatasetError(f"{path}: no data rows")
+    widths = {len(r) for r in rows}
+    if len(widths) != 1:
+        raise DatasetError(f"{path}: ragged rows (widths {sorted(widths)})")
+    points = np.asarray(rows, dtype=np.float64)
+    return Dataset(
+        points,
+        ids=np.asarray(ids, dtype=np.int64) if has_ids else None,
+        name=name or path,
+    )

@@ -1,0 +1,33 @@
+"""Skyline query extensions beyond the paper's core operator.
+
+* :mod:`repro.extensions.kdominant` — k-dominant skylines (Chan et al.):
+  relax dominance to "better on at least k of d dimensions", shrinking
+  the unwieldy high-dimensional skylines the paper's evaluation exhibits;
+* :mod:`repro.extensions.ranking` — ranking/top-k over skyline results,
+  the follow-up the paper explicitly defers ("users could rank the
+  computed skyline sets based on user defined functions such as in
+  [15]", §1);
+* :mod:`repro.extensions.subspace` — skylines over dimension subsets
+  (the skycube building block).
+"""
+
+from repro.extensions.explain import WhyNotExplanation, why_not
+from repro.extensions.kdominant import k_dominant_skyline, k_dominates
+from repro.extensions.ranking import (
+    dominance_scores,
+    rank_skyline,
+    top_k_skyline,
+)
+from repro.extensions.subspace import subspace_skyline, skycube
+
+__all__ = [
+    "WhyNotExplanation",
+    "dominance_scores",
+    "k_dominant_skyline",
+    "k_dominates",
+    "rank_skyline",
+    "skycube",
+    "subspace_skyline",
+    "top_k_skyline",
+    "why_not",
+]

@@ -1,0 +1,93 @@
+"""Why-not explanations for skyline results.
+
+"Why is my hotel not on the shortlist?" — the classic follow-up to a
+skyline query.  Given a point, report *who dominates it* and, per
+dimension, the single-attribute improvement that would clear all
+current dominators (improving one attribute below every dominator's
+value in that dimension makes the point incomparable to all of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.core.point import block_dominates
+
+
+@dataclass
+class WhyNotExplanation:
+    """Explanation of a point's (non-)membership in the skyline."""
+
+    point: np.ndarray
+    is_skyline_member: bool
+    dominator_points: np.ndarray
+    dominator_ids: np.ndarray
+    #: per-dimension reduction that would escape all dominators (inf if
+    #: the point already matches the dominators' minimum there)
+    single_dimension_fixes: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def num_dominators(self) -> int:
+        return int(self.dominator_points.shape[0])
+
+    def cheapest_fix(self) -> Optional[Tuple[int, float]]:
+        """The (dimension, reduction) pair with the smallest reduction,
+        or None when the point is already a skyline member."""
+        if self.is_skyline_member or not self.single_dimension_fixes:
+            return None
+        dim = min(
+            self.single_dimension_fixes,
+            key=lambda k: self.single_dimension_fixes[k],
+        )
+        return dim, self.single_dimension_fixes[dim]
+
+
+def why_not(
+    point: np.ndarray,
+    dataset_points: np.ndarray,
+    dataset_ids: Optional[np.ndarray] = None,
+) -> WhyNotExplanation:
+    """Explain a point's skyline status against a dataset.
+
+    ``point`` need not be a dataset row (what-if queries work too); a
+    row equal to ``point`` never counts as its own dominator.
+    """
+    p = np.asarray(point, dtype=np.float64)
+    data = np.asarray(dataset_points, dtype=np.float64)
+    if data.ndim != 2 or p.shape != (data.shape[1],):
+        raise DatasetError("point and dataset dimensionality must match")
+    if dataset_ids is None:
+        dataset_ids = np.arange(data.shape[0], dtype=np.int64)
+    else:
+        dataset_ids = np.asarray(dataset_ids, dtype=np.int64)
+
+    dominated_by = block_dominates(data, p)
+    dominators = data[dominated_by]
+    dominator_ids = dataset_ids[dominated_by]
+    if dominators.shape[0] == 0:
+        return WhyNotExplanation(
+            point=p,
+            is_skyline_member=True,
+            dominator_points=dominators,
+            dominator_ids=dominator_ids,
+        )
+
+    fixes: Dict[int, float] = {}
+    floor = dominators.min(axis=0)
+    for dim in range(p.shape[0]):
+        # Dropping strictly below every dominator's value in one
+        # dimension breaks all of their dominance claims.
+        reduction = float(p[dim] - floor[dim])
+        if reduction >= 0.0:
+            fixes[dim] = reduction
+    return WhyNotExplanation(
+        point=p,
+        is_skyline_member=False,
+        dominator_points=dominators.copy(),
+        dominator_ids=dominator_ids.copy(),
+        single_dimension_fixes=fixes,
+    )

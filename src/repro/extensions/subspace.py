@@ -1,0 +1,70 @@
+"""Subspace skylines and the skycube.
+
+A point interesting in the full space may be there only thanks to one
+niche dimension; subspace skylines answer "best trade-offs over *these*
+criteria".  The skycube is the collection of skylines over every
+dimension subset — we provide the single-subspace operator plus a
+bottom-up skycube enumerator over subsets of bounded size (the full
+2^d cube is exponential by nature).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.core.skyline import skyline_indices_oracle
+
+
+def subspace_skyline(
+    points: np.ndarray,
+    dimensions: Sequence[int],
+    ids: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skyline of ``points`` projected onto the given dimensions.
+
+    Returns ``(full_points, ids)`` of the rows whose *projection* is not
+    dominated in the subspace (rows keep all their coordinates).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    d = pts.shape[1] if pts.ndim == 2 else 0
+    dims = list(dimensions)
+    if not dims:
+        raise DatasetError("need at least one dimension")
+    if len(set(dims)) != len(dims):
+        raise DatasetError("dimensions must be distinct")
+    if any(not (0 <= k < d) for k in dims):
+        raise DatasetError(f"dimensions out of range for d={d}")
+    if ids is None:
+        ids = np.arange(n, dtype=np.int64)
+    else:
+        ids = np.asarray(ids, dtype=np.int64)
+    idx = skyline_indices_oracle(pts[:, dims])
+    return pts[idx].copy(), ids[idx].copy()
+
+
+def skycube(
+    points: np.ndarray,
+    max_subspace_size: Optional[int] = None,
+    ids: Optional[np.ndarray] = None,
+) -> Dict[Tuple[int, ...], np.ndarray]:
+    """Skyline ids for every dimension subset up to the given size.
+
+    Returns ``{(dims...): skyline_ids}``.  With ``max_subspace_size``
+    unset, enumerates the full skycube (2^d - 1 cuboids) — keep d small.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    d = pts.shape[1]
+    limit = d if max_subspace_size is None else max_subspace_size
+    if not (1 <= limit <= d):
+        raise DatasetError(f"max_subspace_size must be in [1, {d}]")
+    out: Dict[Tuple[int, ...], np.ndarray] = {}
+    for size in range(1, limit + 1):
+        for dims in itertools.combinations(range(d), size):
+            _, sub_ids = subspace_skyline(pts, dims, ids=ids)
+            out[dims] = sub_ids
+    return out

@@ -1,0 +1,153 @@
+"""The :class:`SkylineMaintainer`: skyline of a dynamic point set.
+
+State: an *archive* of every alive point (id -> grid point) plus the
+maintained skyline as a ZB-tree.  Inserts are Z-merge folds; deletes
+re-promote archived points that were exclusively dominated by removed
+skyline members.
+
+All points must already live on the maintainer's grid (integer-valued
+coordinates for the configured codec), like everywhere else in the
+z-order stack; use :func:`repro.zorder.encoding.quantize_dataset` first
+for float data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.core.point import dominated_mask
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.zbtree import OpCounter, ZBTree, build_zbtree
+from repro.zorder.zmerge import zmerge
+from repro.zorder.zsearch import zsearch
+
+
+class SkylineMaintainer:
+    """Maintain the skyline of a set under inserts and deletes."""
+
+    def __init__(self, codec: ZGridCodec) -> None:
+        self.codec = codec
+        self.counter = OpCounter()
+        self._archive: Dict[int, np.ndarray] = {}
+        self._sky: ZBTree = build_zbtree(codec, np.empty((0, codec.dimensions)))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of alive points."""
+        return len(self._archive)
+
+    @property
+    def skyline_size(self) -> int:
+        return self._sky.size
+
+    def skyline(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current skyline as ``(points, ids)`` in Z-order."""
+        _, points, ids = self._sky.collect()
+        return points, ids
+
+    def is_skyline_member(self, point_id: int) -> bool:
+        """Is the given alive point currently on the skyline?"""
+        if point_id not in self._archive:
+            raise DatasetError(f"point id {point_id} is not alive")
+        return point_id in set(self._sky.ids().tolist())
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, point: Sequence[float], point_id: int) -> None:
+        """Insert one point (convenience wrapper over insert_block)."""
+        self.insert_block(
+            np.asarray(point, dtype=np.float64)[None, :],
+            np.asarray([point_id], dtype=np.int64),
+        )
+
+    def insert_block(self, points: np.ndarray, ids: np.ndarray) -> None:
+        """Insert a batch of points.
+
+        The batch's own skyline is computed first (cheap, local), then
+        Z-merged into the maintained skyline tree — the same fold the
+        distributed pipeline's phase 2 performs.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if points.ndim != 2 or ids.shape != (points.shape[0],):
+            raise DatasetError("need (n, d) points and matching ids")
+        for pid in ids:
+            if int(pid) in self._archive:
+                raise DatasetError(f"point id {int(pid)} already alive")
+        for pid, row in zip(ids, points):
+            self._archive[int(pid)] = row.copy()
+        batch_tree = build_zbtree(self.codec, points, ids=ids)
+        batch_sky, batch_ids = zsearch(batch_tree, self.counter)
+        src = build_zbtree(self.codec, batch_sky, ids=batch_ids)
+        self._sky = zmerge(self._sky, src, self.counter)
+
+    def delete(self, point_ids: Sequence[int]) -> None:
+        """Delete a batch of points by id.
+
+        Deleting non-skyline points never changes the skyline.  For each
+        deleted *skyline* point, archived points inside its dominance
+        region are candidates to surface; the union of survivors' local
+        skyline is Z-merged back in.
+        """
+        doomed = {int(pid) for pid in point_ids}
+        missing = doomed - set(self._archive)
+        if missing:
+            raise DatasetError(f"point ids not alive: {sorted(missing)}")
+
+        sky_ids = set(self._sky.ids().tolist())
+        deleted_sky = doomed & sky_ids
+        deleted_sky_points = np.array(
+            [self._archive[pid] for pid in deleted_sky]
+        ).reshape(len(deleted_sky), self.codec.dimensions)
+
+        for pid in doomed:
+            del self._archive[pid]
+
+        if not deleted_sky:
+            return
+
+        # Rebuild the skyline tree without the deleted members.
+        _, points, ids = self._sky.collect()
+        keep = np.array([int(i) not in doomed for i in ids], dtype=bool)
+        self._sky = build_zbtree(self.codec, points[keep], ids=ids[keep])
+
+        if not self._archive:
+            return
+        # Candidates: alive points dominated by some deleted skyline
+        # point (only they can have been shadowed exclusively by it).
+        alive_ids = np.fromiter(self._archive, dtype=np.int64)
+        alive_points = np.vstack([self._archive[int(i)] for i in alive_ids])
+        self.counter.point_tests += alive_points.shape[0] * max(
+            deleted_sky_points.shape[0], 1
+        )
+        shadowed = dominated_mask(alive_points, deleted_sky_points)
+        if not shadowed.any():
+            return
+        cand_points = alive_points[shadowed]
+        cand_ids = alive_ids[shadowed]
+        cand_tree = build_zbtree(self.codec, cand_points, ids=cand_ids)
+        cand_sky, cand_sky_ids = zsearch(cand_tree, self.counter)
+        src = build_zbtree(self.codec, cand_sky, ids=cand_sky_ids)
+        self._sky = zmerge(self._sky, src, self.counter)
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Cross-check the maintained skyline against the oracle
+        (testing hook; O(n^2 / sorted) over the alive set)."""
+        from repro.core.skyline import is_skyline_of
+
+        if not self._archive:
+            if self.skyline_size != 0:
+                raise DatasetError("skyline non-empty for empty archive")
+            return
+        alive = np.vstack(list(self._archive.values()))
+        points, _ = self.skyline()
+        if not is_skyline_of(points, alive):
+            raise DatasetError("maintained skyline diverged from oracle")

@@ -1,0 +1,74 @@
+"""Sliding-window skyline (the n-of-N streaming model).
+
+"Show me the best trade-offs among the most recent W records" — the
+streaming counterpart of the skyline query.  Built directly on
+:class:`~repro.maintenance.maintainer.SkylineMaintainer`: appending a
+record inserts it and expires whatever fell out of the window, reusing
+the insert/delete machinery (Z-merge + exclusive-region re-promotion).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.maintenance.maintainer import SkylineMaintainer
+from repro.zorder.encoding import ZGridCodec
+
+
+class SlidingWindowSkyline:
+    """Skyline over the last ``window_size`` appended points."""
+
+    def __init__(self, codec: ZGridCodec, window_size: int) -> None:
+        if window_size <= 0:
+            raise DatasetError("window_size must be positive")
+        self.window_size = window_size
+        self._maintainer = SkylineMaintainer(codec)
+        self._window: Deque[int] = deque()
+        self._next_id = 0
+
+    @property
+    def size(self) -> int:
+        """Number of points currently in the window."""
+        return len(self._window)
+
+    @property
+    def skyline_size(self) -> int:
+        return self._maintainer.skyline_size
+
+    def skyline(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current window skyline as ``(points, ids)``."""
+        return self._maintainer.skyline()
+
+    def append(self, point: Sequence[float]) -> int:
+        """Append one point; expire the oldest when the window is full.
+
+        Returns the id assigned to the appended point (monotonically
+        increasing arrival order).
+        """
+        point_id = self._next_id
+        self._next_id += 1
+        self._maintainer.insert(
+            np.asarray(point, dtype=np.float64), point_id
+        )
+        self._window.append(point_id)
+        if len(self._window) > self.window_size:
+            expired = self._window.popleft()
+            self._maintainer.delete([expired])
+        return point_id
+
+    def extend(self, points: np.ndarray) -> None:
+        """Append many points in arrival order."""
+        for row in np.asarray(points, dtype=np.float64):
+            self.append(row)
+
+    def window_ids(self) -> Tuple[int, ...]:
+        """Ids currently inside the window, oldest first."""
+        return tuple(self._window)
+
+    def verify(self) -> None:
+        """Testing hook: cross-check against the oracle."""
+        self._maintainer.verify()

@@ -1,0 +1,42 @@
+"""A simulated share-nothing MapReduce platform.
+
+The paper runs on Hadoop; its claims are about *relative* work
+distribution — input skew, straggling reducers, shuffle volume, candidate
+counts — all of which are observable in-process.  This package provides:
+
+* :mod:`repro.mapreduce.types` — the :class:`Block` record batch (our
+  splits are numpy blocks, so mappers/combiners/reducers stay
+  vectorised; the API is Hadoop's ``mapPartitions`` shape);
+* :mod:`repro.mapreduce.counters` — Hadoop-style counter groups;
+* :mod:`repro.mapreduce.hdfs` — an in-memory DFS with I/O accounting;
+* :mod:`repro.mapreduce.cache` — the distributed cache (read-only side
+  data shipped to every mapper: pivots, sample skyline, PGmap);
+* :mod:`repro.mapreduce.cluster` — workers with per-task wall-clock and
+  abstract-cost ledgers, makespan/skew metrics, and optional straggler
+  fault injection;
+* :mod:`repro.mapreduce.job` / :mod:`repro.mapreduce.runtime` — job
+  specification and the engine that executes map → combine → shuffle →
+  reduce rounds over the simulated cluster.
+"""
+
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cluster import ClusterMetrics, SimulatedCluster, WorkerLedger
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.mapreduce.types import Block
+
+__all__ = [
+    "Block",
+    "ClusterMetrics",
+    "Counters",
+    "DistributedCache",
+    "InMemoryDFS",
+    "JobResult",
+    "MapReduceJob",
+    "MapReduceRuntime",
+    "SimulatedCluster",
+    "TaskContext",
+    "WorkerLedger",
+]

@@ -1,0 +1,42 @@
+"""Distributed cache: read-only side data shipped to every task.
+
+The paper loads the partitioning pivot set, the sample-data skyline (as
+an SZB-tree), and the partition-to-group map into each mapper via
+Hadoop's distributed cache; this is the in-process equivalent.  Entries
+are write-once to mimic the cache's immutability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator
+
+from repro.core.exceptions import MapReduceError
+
+
+class DistributedCache:
+    """Write-once key/value side-data store."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Any] = {}
+
+    def put(self, key: str, value: Any) -> None:
+        """Publish an entry; re-publishing a key is an error."""
+        if key in self._entries:
+            raise MapReduceError(f"cache entry {key!r} already published")
+        self._entries[key] = value
+
+    def get(self, key: str) -> Any:
+        """Fetch an entry; missing keys are an error (a mapper depending
+        on side data that was never shipped is a driver bug)."""
+        if key not in self._entries:
+            raise MapReduceError(f"cache entry {key!r} was never published")
+        return self._entries[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

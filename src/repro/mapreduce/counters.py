@@ -1,0 +1,55 @@
+"""Hadoop-style counter groups.
+
+Counters are how the benchmarks observe the quantities the paper plots:
+records shuffled between the phases, skyline candidates emitted, bytes
+written to the DFS, dominance tests executed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Dict
+
+
+class Counters:
+    """Nested ``group -> name -> int`` counters.
+
+    Thread-safe: tasks on a :class:`~repro.mapreduce.parallel.ThreadedCluster`
+    increment shared job counters concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._lock = threading.Lock()
+
+    def inc(self, group: str, name: str, amount: int = 1) -> None:
+        """Increment ``group/name`` by ``amount``."""
+        with self._lock:
+            self._data[group][name] += int(amount)
+
+    def get(self, group: str, name: str) -> int:
+        """Current value (0 if never incremented)."""
+        with self._lock:
+            return self._data.get(group, {}).get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another counter set into this one."""
+        with other._lock:
+            snapshot = {
+                g: dict(names) for g, names in other._data.items()
+            }
+        with self._lock:
+            for group, names in snapshot.items():
+                for name, value in names.items():
+                    self._data[group][name] += value
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Plain-dict snapshot (for reports and assertions)."""
+        with self._lock:
+            return {g: dict(names) for g, names in self._data.items()}
+
+    def __repr__(self) -> str:
+        return f"Counters({self.as_dict()!r})"

@@ -1,0 +1,57 @@
+"""In-memory distributed file system with I/O accounting.
+
+Job outputs (phase-1 skyline candidates, the final skyline) are "written
+to HDFS" here; the byte counters let benchmarks report the intermediate
+I/O volume that the paper's candidate-pruning analysis (§5.4) is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.exceptions import MapReduceError
+from repro.mapreduce.types import Block
+
+
+class InMemoryDFS:
+    """Path -> list-of-blocks store with read/write byte counters."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, List[Block]] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.records_written = 0
+        self.records_read = 0
+
+    def write(self, path: str, blocks: List[Block]) -> None:
+        """Create a file; overwriting is an error (HDFS files are
+        immutable once closed)."""
+        if path in self._files:
+            raise MapReduceError(f"DFS path {path!r} already exists")
+        self._files[path] = list(blocks)
+        for block in blocks:
+            self.bytes_written += block.nbytes
+            self.records_written += block.size
+
+    def read(self, path: str) -> List[Block]:
+        """Read a file's blocks (accounted)."""
+        if path not in self._files:
+            raise MapReduceError(f"DFS path {path!r} does not exist")
+        blocks = self._files[path]
+        for block in blocks:
+            self.bytes_read += block.nbytes
+            self.records_read += block.size
+        return list(blocks)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove a file (missing path is an error)."""
+        if path not in self._files:
+            raise MapReduceError(f"DFS path {path!r} does not exist")
+        del self._files[path]
+
+    def listdir(self) -> List[str]:
+        """All stored paths, sorted."""
+        return sorted(self._files)

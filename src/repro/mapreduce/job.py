@@ -1,0 +1,72 @@
+"""MapReduce job specification and task context.
+
+A job is three callables over :class:`~repro.mapreduce.types.Block`
+batches:
+
+* ``mapper(block, ctx) -> iterable of (key, Block)``
+* ``combiner(key, blocks, ctx) -> list of Block``   (optional)
+* ``reducer(key, blocks, ctx) -> anything``
+
+Keys are the integer group ids produced by the partition rule.  The
+:class:`TaskContext` hands tasks the distributed cache, the job counters,
+and an :class:`~repro.zorder.zbtree.OpCounter` whose total becomes the
+task's abstract cost on the worker ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.exceptions import MapReduceError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cluster import ClusterMetrics
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.types import Block
+from repro.zorder.zbtree import OpCounter
+
+Mapper = Callable[[Block, "TaskContext"], Iterable[Tuple[int, Block]]]
+Combiner = Callable[[int, List[Block], "TaskContext"], List[Block]]
+Reducer = Callable[[int, List[Block], "TaskContext"], Any]
+
+
+class TaskContext:
+    """Per-task execution context."""
+
+    def __init__(self, cache: DistributedCache, counters: Counters) -> None:
+        self.cache = cache
+        self.counters = counters
+        self.ops = OpCounter()
+
+    def cost_units(self, records: int = 0) -> int:
+        """Abstract cost of the task: records touched + dominance work."""
+        return int(records) + self.ops.total()
+
+
+@dataclass
+class MapReduceJob:
+    """Declarative job: wire the three phases together."""
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Optional[Combiner] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MapReduceError("job needs a non-empty name")
+
+
+@dataclass
+class JobResult:
+    """Everything a driver learns from one executed job."""
+
+    job_name: str
+    outputs: Dict[int, Any]
+    counters: Counters
+    map_metrics: ClusterMetrics
+    reduce_metrics: ClusterMetrics
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    elapsed_seconds: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)

@@ -1,0 +1,154 @@
+"""The engine: executes a job's map → combine → shuffle → reduce rounds.
+
+Execution model (matching Hadoop's semantics at block granularity):
+
+1. one **map task** per input split; its emitted ``(key, Block)`` pairs
+   are grouped per task and run through the **combiner** before leaving
+   the mapper (this is where the paper's local-skyline combiners cut the
+   shuffle volume);
+2. the **shuffle** gathers combiner outputs by key across all map tasks,
+   accounting records and bytes moved;
+3. one **reduce task** per key, placed round-robin over workers (keys
+   are group ids, so reducer load mirrors the grouping quality).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import MapReduceError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
+from repro.mapreduce.types import Block
+
+
+class MapReduceRuntime:
+    """Runs :class:`~repro.mapreduce.job.MapReduceJob` instances."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        dfs: Optional[InMemoryDFS] = None,
+        cache: Optional[DistributedCache] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.dfs = dfs if dfs is not None else InMemoryDFS()
+        self.cache = cache if cache is not None else DistributedCache()
+
+    def run(
+        self,
+        job: MapReduceJob,
+        input_blocks: Sequence[Block],
+        output_path: Optional[str] = None,
+    ) -> JobResult:
+        """Execute ``job`` over the given input splits.
+
+        When ``output_path`` is given and the reduce outputs are blocks,
+        they are also written to the DFS (accounted).
+        """
+        if not input_blocks:
+            raise MapReduceError("job needs at least one input split")
+        started = time.perf_counter()
+        counters = Counters()
+
+        map_outputs = self._map_phase(job, input_blocks, counters)
+        grouped, shuffle_records, shuffle_bytes = self._shuffle(
+            map_outputs, counters
+        )
+        outputs = self._reduce_phase(job, grouped, counters)
+
+        if output_path is not None:
+            block_outputs = [
+                value for value in outputs.values() if isinstance(value, Block)
+            ]
+            self.dfs.write(output_path, block_outputs)
+
+        elapsed = time.perf_counter() - started
+        return JobResult(
+            job_name=job.name,
+            outputs=outputs,
+            counters=counters,
+            map_metrics=self.cluster.metrics_for(f"{job.name}:map"),
+            reduce_metrics=self.cluster.metrics_for(f"{job.name}:reduce"),
+            shuffle_records=shuffle_records,
+            shuffle_bytes=shuffle_bytes,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _map_phase(
+        self,
+        job: MapReduceJob,
+        input_blocks: Sequence[Block],
+        counters: Counters,
+    ) -> List[Dict[int, List[Block]]]:
+        def make_task(block: Block):
+            def task() -> Tuple[Dict[int, List[Block]], int]:
+                ctx = TaskContext(self.cache, counters)
+                counters.inc("map", "input_records", block.size)
+                emitted: Dict[int, List[Block]] = defaultdict(list)
+                for key, out_block in job.mapper(block, ctx):
+                    emitted[int(key)].append(out_block)
+                if job.combiner is not None:
+                    combined: Dict[int, List[Block]] = {}
+                    for key, blocks in emitted.items():
+                        combined[key] = list(job.combiner(key, blocks, ctx))
+                    emitted = combined  # type: ignore[assignment]
+                out_records = sum(
+                    b.size for blocks in emitted.values() for b in blocks
+                )
+                counters.inc("map", "output_records", out_records)
+                return dict(emitted), ctx.cost_units(records=block.size)
+
+            return task
+
+        tasks = [make_task(block) for block in input_blocks]
+        return self.cluster.run_round(f"{job.name}:map", tasks)
+
+    def _shuffle(
+        self,
+        map_outputs: List[Dict[int, List[Block]]],
+        counters: Counters,
+    ) -> Tuple[Dict[int, List[Block]], int, int]:
+        grouped: Dict[int, List[Block]] = defaultdict(list)
+        records = 0
+        nbytes = 0
+        for task_output in map_outputs:
+            for key, blocks in task_output.items():
+                for block in blocks:
+                    grouped[key].append(block)
+                    records += block.size
+                    nbytes += block.nbytes
+        counters.inc("shuffle", "records", records)
+        counters.inc("shuffle", "bytes", nbytes)
+        return grouped, records, nbytes
+
+    def _reduce_phase(
+        self,
+        job: MapReduceJob,
+        grouped: Dict[int, List[Block]],
+        counters: Counters,
+    ) -> Dict[int, object]:
+        keys = sorted(grouped)
+
+        def make_task(key: int):
+            def task() -> Tuple[object, int]:
+                ctx = TaskContext(self.cache, counters)
+                blocks = grouped[key]
+                in_records = sum(b.size for b in blocks)
+                counters.inc("reduce", "input_records", in_records)
+                result = job.reducer(key, blocks, ctx)
+                if isinstance(result, Block):
+                    counters.inc("reduce", "output_records", result.size)
+                return result, ctx.cost_units(records=in_records)
+
+            return task
+
+        tasks = [make_task(key) for key in keys]
+        results = self.cluster.run_round(f"{job.name}:reduce", tasks)
+        return dict(zip(keys, results))

@@ -1,0 +1,46 @@
+"""Data partitioning and partition grouping (the paper's §4).
+
+A *partitioner* learns a :class:`~repro.partitioning.base.PartitionRule`
+from a sample of the data (phase 0); the rule then routes every full-data
+point to a partition and — for the grouped Z-order strategies — to a
+*group*, the unit of reducer work:
+
+* ``random`` — round-robin by id [18];
+* ``grid`` — equal-width grid over the first dimensions [9, 11];
+* ``angle`` — quantile grid over hyperspherical angles [8];
+* ``naive-z`` — equi-depth ranges along the Z-order curve (§4.1);
+* ``zhg`` — Naive-Z + heuristic partition grouping (Algorithm 1, §4.2);
+* ``zdg`` — Naive-Z + dominance-based grouping (Algorithm 2, §4.3),
+  which additionally *prunes* partitions fully dominated by another
+  partition's RZ-region.
+"""
+
+from repro.partitioning.angle import AnglePartitioner
+from repro.partitioning.base import (
+    PartitionRule,
+    Partitioner,
+    assignment_counts,
+    get_partitioner,
+)
+from repro.partitioning.dominance_grouping import DominanceGroupingPartitioner
+from repro.partitioning.grid import GridPartitioner
+from repro.partitioning.grouping import HeuristicGroupingPartitioner
+from repro.partitioning.random_part import RandomPartitioner
+from repro.partitioning.sampling import reservoir_sample, reservoir_sample_indices
+from repro.partitioning.zcurve import ZCurvePartitioner, ZCurveRule
+
+__all__ = [
+    "AnglePartitioner",
+    "DominanceGroupingPartitioner",
+    "GridPartitioner",
+    "HeuristicGroupingPartitioner",
+    "PartitionRule",
+    "Partitioner",
+    "RandomPartitioner",
+    "ZCurvePartitioner",
+    "ZCurveRule",
+    "assignment_counts",
+    "get_partitioner",
+    "reservoir_sample",
+    "reservoir_sample_indices",
+]

@@ -1,0 +1,140 @@
+"""Partitioner protocol and shared helpers.
+
+A :class:`Partitioner` is fitted on a *sample* dataset (phase 0 runs on
+the master node) and yields a :class:`PartitionRule`.  The rule is the
+small, serialisable object that the paper ships to every mapper through
+the distributed cache; it routes full-data points to *groups* — the unit
+of reducer work.  For ungrouped schemes (grid, angle, random, naive-z)
+group ids coincide with partition ids.
+
+A group id of ``DROPPED`` (-1) means the point's partition was pruned by
+dominance-based grouping (its whole RZ-region is dominated by another
+partition, so none of its points can be skyline points) and the mapper
+discards it — Algorithm 3's "if m is not NULL" check.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.zorder.encoding import ZGridCodec
+
+DROPPED = -1
+
+
+class PartitionRule(abc.ABC):
+    """A fitted routing rule from points to group ids."""
+
+    @property
+    @abc.abstractmethod
+    def num_groups(self) -> int:
+        """Number of groups (= reducer tasks) the rule routes to."""
+
+    @abc.abstractmethod
+    def assign_groups(
+        self,
+        points: np.ndarray,
+        ids: np.ndarray,
+        zaddresses: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Group id per point (``DROPPED`` for pruned partitions).
+
+        ``zaddresses`` may be supplied by callers that already encoded the
+        points (the phase-1 mapper does) to avoid re-encoding.
+        """
+
+    def describe(self) -> Dict[str, object]:
+        """Small diagnostic summary for reports."""
+        return {"rule": type(self).__name__, "num_groups": self.num_groups}
+
+
+class Partitioner(abc.ABC):
+    """Learns a :class:`PartitionRule` from a sample dataset."""
+
+    #: short name used in plan strings ("grid", "angle", "zdg", ...)
+    name: str = "base"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        sample: Dataset,
+        codec: ZGridCodec,
+        num_groups: int,
+        seed: int = 0,
+    ) -> PartitionRule:
+        """Learn a routing rule targeting ``num_groups`` reducer tasks.
+
+        ``sample`` must already be grid-snapped with ``codec`` (the
+        pipeline quantises once up front).  Grouped strategies may return
+        a rule whose actual ``num_groups`` differs slightly from the
+        request — the paper's greedy grouping opens a new group whenever a
+        capacity constraint trips.
+        """
+
+
+def assignment_counts(gids: np.ndarray, num_groups: int) -> np.ndarray:
+    """Histogram of points per group, ignoring dropped points."""
+    valid = gids[gids >= 0]
+    return np.bincount(valid, minlength=num_groups)
+
+
+def load_imbalance(gids: np.ndarray, num_groups: int) -> float:
+    """Max-to-mean ratio of points per group (1.0 = perfectly balanced).
+
+    This is the skew statistic §6.2 is about: the straggling reducer's
+    share relative to the fair share ``|P| / M``.
+    """
+    counts = assignment_counts(gids, num_groups)
+    if counts.size == 0 or counts.sum() == 0:
+        return 1.0
+    mean = counts.sum() / counts.size
+    return float(counts.max() / mean)
+
+
+def _registry() -> Dict[str, object]:
+    import functools
+
+    from repro.partitioning.angle import AnglePartitioner
+    from repro.partitioning.dominance_grouping import (
+        DominanceGroupingPartitioner,
+    )
+    from repro.partitioning.generic_grouping import GroupedPartitioner
+    from repro.partitioning.grid import GridPartitioner
+    from repro.partitioning.kdtree import KDTreePartitioner
+    from repro.partitioning.grouping import HeuristicGroupingPartitioner
+    from repro.partitioning.random_part import RandomPartitioner
+    from repro.partitioning.zcurve import ZCurvePartitioner
+
+    return {
+        "random": RandomPartitioner,
+        "grid": GridPartitioner,
+        "angle": AnglePartitioner,
+        "naive-z": ZCurvePartitioner,
+        "zhg": HeuristicGroupingPartitioner,
+        "zdg": DominanceGroupingPartitioner,
+        "kdtree": KDTreePartitioner,
+        "grid-grouped": functools.partial(GroupedPartitioner, "grid"),
+        "angle-grouped": functools.partial(GroupedPartitioner, "angle"),
+        "kdtree-grouped": functools.partial(GroupedPartitioner, "kdtree"),
+    }
+
+
+def get_partitioner(name: str, **kwargs: object) -> Partitioner:
+    """Instantiate a partitioner by its paper-style name."""
+    key = name.strip().lower()
+    registry = _registry()
+    if key not in registry:
+        raise ConfigurationError(
+            f"unknown partitioner {name!r}; choose one of {sorted(registry)}"
+        )
+    return registry[key](**kwargs)  # type: ignore[no-any-return]
+
+
+def available_partitioners() -> List[str]:
+    """Names accepted by :func:`get_partitioner`."""
+    return sorted(_registry())

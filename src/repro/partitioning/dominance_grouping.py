@@ -1,0 +1,217 @@
+"""Dominance-based partition grouping — ZDG (Algorithm 2, §4.3).
+
+ZHG balances counts but ignores *where* partitions sit relative to each
+other: co-locating two mutually incomparable partitions wastes every
+cross-partition dominance test.  ZDG instead maximises the summed
+*dominance volume* (Definition 5) inside each group, so partitions placed
+together stand the best chance of pruning each other's points before the
+merge phase, subject to the same two capacity constraints.
+
+Steps (Algorithm 2):
+
+1. over-partition the sample along the Z-curve (``M * delta`` ranges) and
+   split skyline-heavy partitions, as in ZHG;
+2. build each partition's RZ-region from its Z-address interval and
+   *prune* partitions fully dominated by another non-empty partition's
+   region (their points can never be skyline points — the mapper drops
+   them, Algorithm 3 line 7);
+3. build the dominance matrix ``DM[i][j] = V_dom(Pt_i, Pt_j)``
+   (Definition 6) and each partition's dominance power ``Gamma``
+   (Definition 7);
+4. greedily grow groups: seed with the unassigned partition of largest
+   ``|Pts_i| * Gamma_i``, then repeatedly add the unassigned partition
+   with the largest summed volume against the group (``maxDominate``)
+   until a capacity constraint trips.
+
+Numerics: Definition 5 is a product of ``d`` per-dimension gaps; for the
+high-dimensional datasets this under/overflows float64, so the matrix is
+built in log space and globally rescaled — only *relative* volumes matter
+to the greedy objective.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.partitioning.base import DROPPED, Partitioner
+from repro.partitioning.grouping import (
+    DEFAULT_EXPANSION,
+    compute_sample_stats,
+)
+from repro.partitioning.zcurve import ZCurveRule
+from repro.zorder.rzregion import RZRegion
+
+
+def log_dominance_volume(region_i: RZRegion, region_j: RZRegion) -> float:
+    """Natural log of the Definition 5 dominance volume (``-inf`` when
+    any per-dimension gap is zero, i.e. the volume is zero)."""
+    stacked = np.stack(
+        [region_i.minpt, region_i.maxpt, region_j.minpt, region_j.maxpt]
+    ).astype(np.float64)
+    ordered = np.sort(stacked, axis=0)
+    gaps = ordered[-1] - ordered[-2]
+    if np.any(gaps <= 0.0):
+        return -math.inf
+    return float(np.log(gaps).sum())
+
+
+def build_dominance_matrix(regions: List[RZRegion]) -> np.ndarray:
+    """Dominance matrix (Definition 6), globally rescaled from log space.
+
+    ``DM[i][j]`` is proportional to ``V_dom(Pt_i, Pt_j)``; the diagonal is
+    zero and the matrix is symmetric, matching the stated properties of
+    the definition.
+    """
+    m = len(regions)
+    logs = np.full((m, m), -math.inf)
+    for i in range(m):
+        for j in range(i + 1, m):
+            logs[i, j] = logs[j, i] = log_dominance_volume(
+                regions[i], regions[j]
+            )
+    finite = logs[np.isfinite(logs)]
+    if finite.size == 0:
+        return np.zeros((m, m))
+    peak = finite.max()
+    dm = np.exp(logs - peak)
+    dm[~np.isfinite(logs)] = 0.0
+    np.fill_diagonal(dm, 0.0)
+    return dm
+
+
+def prune_dominated_partitions(
+    regions: List[RZRegion], nonempty: np.ndarray
+) -> np.ndarray:
+    """Mark partitions whose whole RZ-region is dominated by another
+    *non-empty* partition's region.
+
+    Safety: region-level full dominance means every possible point of the
+    dominated interval is dominated by every possible point of the
+    dominating interval, and a partition holding at least one sample
+    point is certainly non-empty in the full data — so dropping the
+    dominated partition's points at map time can never lose a skyline
+    point (see §5.4's pruning analysis).
+    """
+    m = len(regions)
+    pruned = np.zeros(m, dtype=bool)
+    for j in range(m):
+        rj = regions[j]
+        for i in range(m):
+            if i == j or not nonempty[i]:
+                continue
+            if regions[i].fully_dominates(rj):
+                pruned[j] = True
+                break
+    return pruned
+
+
+class DominanceGroupingPartitioner(Partitioner):
+    """ZDG: Z-order partitioning + Algorithm 2 dominance grouping."""
+
+    name = "zdg"
+
+    def __init__(self, expansion: int = DEFAULT_EXPANSION) -> None:
+        if expansion < 1:
+            raise ConfigurationError("expansion factor delta must be >= 1")
+        self.expansion = expansion
+
+    def fit(
+        self,
+        sample: Dataset,
+        codec,
+        num_groups: int,
+        seed: int = 0,
+    ) -> ZCurveRule:
+        if num_groups <= 0:
+            raise ConfigurationError("num_groups must be positive")
+        stats = compute_sample_stats(
+            sample, codec, parts=num_groups * self.expansion
+        )
+        rule = ZCurveRule(codec, stats.pivots)
+        # Safe pruning must reason about every point a Z-range *could*
+        # contain, so it uses the prefix-aligned RZ-regions.
+        regions = rule.regions()
+        nonempty = stats.point_counts > 0
+        pruned = prune_dominated_partitions(regions, nonempty)
+
+        # The volume matrix is a heuristic; the sample bounding boxes are
+        # far tighter than RZ-regions whose Z-range crosses a high curve
+        # bit (those expand to most of the space and drown the signal).
+        volume_regions = [
+            RZRegion.from_corners(0, 0, stats.box_min[i], stats.box_max[i])
+            if nonempty[i]
+            else regions[i]
+            for i in range(len(regions))
+        ]
+        dm = build_dominance_matrix(volume_regions)
+        gamma = dm.sum(axis=1)
+
+        tcons = max(1, math.ceil(stats.sample_size / num_groups))
+        scons = max(1, math.ceil(max(stats.skyline_size, 1) / num_groups))
+
+        group_map = self._greedy_group(
+            stats.point_counts,
+            stats.skyline_counts,
+            dm,
+            gamma,
+            pruned,
+            tcons,
+            scons,
+        )
+        return ZCurveRule(codec, stats.pivots, group_map=group_map)
+
+    @staticmethod
+    def _greedy_group(
+        point_counts: np.ndarray,
+        skyline_counts: np.ndarray,
+        dm: np.ndarray,
+        gamma: np.ndarray,
+        pruned: np.ndarray,
+        tcons: int,
+        scons: int,
+    ) -> np.ndarray:
+        m = len(point_counts)
+        group_map = np.full(m, DROPPED, dtype=np.int64)
+        unassigned = [pid for pid in range(m) if not pruned[pid]]
+        # Seed priority: |Pts_i| * Gamma_i, ties by skyline count then
+        # size (Algorithm 2's sort()).
+        priority = skyline_counts.astype(np.float64) * gamma
+        unassigned.sort(
+            key=lambda pid: (
+                priority[pid],
+                skyline_counts[pid],
+                point_counts[pid],
+            ),
+            reverse=True,
+        )
+        gid = 0
+        while unassigned:
+            seed_pid = unassigned.pop(0)
+            group_map[seed_pid] = gid
+            tcount = int(point_counts[seed_pid])
+            scount = int(skyline_counts[seed_pid])
+            # Summed volume of each candidate against the growing group
+            # (maxDominate), maintained incrementally.
+            affinity = dm[seed_pid].copy()
+            while unassigned:
+                best_pos = max(
+                    range(len(unassigned)),
+                    key=lambda pos: affinity[unassigned[pos]],
+                )
+                pid = unassigned[best_pos]
+                t = int(point_counts[pid])
+                s = int(skyline_counts[pid])
+                if tcount + t > tcons or scount + s > scons:
+                    break
+                unassigned.pop(best_pos)
+                group_map[pid] = gid
+                tcount += t
+                scount += s
+                affinity += dm[pid]
+            gid += 1
+        return group_map

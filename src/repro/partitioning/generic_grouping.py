@@ -1,0 +1,146 @@
+"""Dominance grouping generalised to arbitrary partitioners.
+
+The paper applies its grouping algorithms to Z-curve partitions, whose
+RZ-regions make region reasoning natural.  But the grouping *idea* —
+over-partition, then pack partitions that dominate each other into the
+same reducer group under size/skyline caps — only needs per-partition
+sample statistics (counts and bounding boxes), which any partitioner
+can provide.  This module wraps Grid/Angle/any rule with the same
+greedy dominance-volume grouping, enabling the ablation "is the win the
+Z-curve, the grouping, or both?" (see ``benchmarks/test_ablations.py``).
+
+Unlike ZDG there is no *pruning* of dominated partitions: sample
+bounding boxes do not bound unseen points, so dropping would be unsafe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.zs import zs_skyline
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.partitioning.base import PartitionRule, Partitioner, get_partitioner
+from repro.partitioning.dominance_grouping import (
+    DominanceGroupingPartitioner,
+    build_dominance_matrix,
+)
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.rzregion import RZRegion
+
+DEFAULT_EXPANSION = 4
+
+
+class GroupedRule(PartitionRule):
+    """Wraps a base rule with a partition-to-group map."""
+
+    def __init__(self, base: PartitionRule, group_map: Sequence[int]) -> None:
+        self.base = base
+        gm = np.asarray(group_map, dtype=np.int64)
+        if gm.shape != (base.num_groups,):
+            raise ConfigurationError(
+                "group_map must have one entry per base partition"
+            )
+        if gm.min() < 0:
+            raise ConfigurationError("generic grouping never drops")
+        self._group_map = gm
+        self._num_groups = int(gm.max()) + 1
+
+    @property
+    def num_groups(self) -> int:
+        return self._num_groups
+
+    @property
+    def group_map(self) -> np.ndarray:
+        return self._group_map
+
+    def assign_groups(
+        self,
+        points: np.ndarray,
+        ids: np.ndarray,
+        zaddresses: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        pids = self.base.assign_groups(points, ids, zaddresses)
+        return self._group_map[pids]
+
+    def describe(self) -> dict:
+        return {
+            "rule": type(self).__name__,
+            "base": type(self.base).__name__,
+            "num_partitions": self.base.num_groups,
+            "num_groups": self._num_groups,
+        }
+
+
+class GroupedPartitioner(Partitioner):
+    """Over-partition with any base partitioner, then dominance-group."""
+
+    def __init__(
+        self, base_name: str, expansion: int = DEFAULT_EXPANSION
+    ) -> None:
+        if expansion < 1:
+            raise ConfigurationError("expansion factor must be >= 1")
+        self.base_name = base_name
+        self.expansion = expansion
+        self.name = f"{base_name}-grouped"
+
+    def fit(
+        self,
+        sample: Dataset,
+        codec: ZGridCodec,
+        num_groups: int,
+        seed: int = 0,
+    ) -> GroupedRule:
+        if num_groups <= 0:
+            raise ConfigurationError("num_groups must be positive")
+        base = get_partitioner(self.base_name).fit(
+            sample, codec, num_groups * self.expansion, seed=seed
+        )
+        pids = base.assign_groups(sample.points, sample.ids)
+        num_partitions = base.num_groups
+
+        _sky_points, sky_ids = zs_skyline(
+            sample.points, sample.ids, None, codec
+        )
+        point_counts = np.bincount(
+            pids[pids >= 0], minlength=num_partitions
+        )
+        sky_mask = np.isin(sample.ids, sky_ids)
+        skyline_counts = np.bincount(
+            pids[sky_mask & (pids >= 0)], minlength=num_partitions
+        )
+
+        regions = []
+        for pid in range(num_partitions):
+            block = sample.points[pids == pid]
+            if block.shape[0]:
+                regions.append(
+                    RZRegion.from_corners(
+                        0, 0, block.min(axis=0), block.max(axis=0)
+                    )
+                )
+            else:
+                zero = np.zeros(sample.dimensions)
+                regions.append(RZRegion.from_corners(0, 0, zero, zero))
+        dm = build_dominance_matrix(regions)
+        # Empty partitions carry no signal; zero their affinities.
+        empty = point_counts == 0
+        dm[empty, :] = 0.0
+        dm[:, empty] = 0.0
+        gamma = dm.sum(axis=1)
+
+        tcons = max(1, math.ceil(sample.size / num_groups))
+        scons = max(1, math.ceil(max(len(sky_ids), 1) / num_groups))
+        group_map = DominanceGroupingPartitioner._greedy_group(
+            point_counts,
+            skyline_counts,
+            dm,
+            gamma,
+            np.zeros(num_partitions, dtype=bool),
+            tcons,
+            scons,
+        )
+        return GroupedRule(base, group_map)

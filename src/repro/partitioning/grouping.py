@@ -1,0 +1,220 @@
+"""Heuristic partition grouping — ZHG (Algorithm 1, §4.2).
+
+Naive-Z balances *input* sizes but not *skyline* sizes: partitions near
+the dominance frontier carry most skyline points, and the workers that
+receive them straggle (local skyline cost is bound by the number of
+skyline points).  ZHG therefore:
+
+1. over-partitions the sample into ``M * delta`` Z-ranges (``delta`` is
+   the partition expansion factor, > 1);
+2. computes the sample skyline and counts skyline points per partition;
+3. *redistributes*: partitions holding more than ``|S|/M`` sample skyline
+   points are split further at skyline-quantile Z-addresses;
+4. scans partitions in decreasing skyline count, greedily packing them
+   into groups under two capacity constraints — sample points per group
+   (``tcons = |P|/M``) and skyline points per group (``scons = |S|/M``).
+
+The result is a :class:`~repro.partitioning.zcurve.ZCurveRule` whose
+group map sends several Z-ranges to each reducer, with both constraints
+approximately equalised (Proposition 1).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.zs import zs_skyline
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.partitioning.base import Partitioner
+from repro.partitioning.zcurve import ZCurveRule, equidepth_pivots
+from repro.zorder.encoding import ZGridCodec
+
+DEFAULT_EXPANSION = 4
+
+
+@dataclass
+class SamplePartitionStats:
+    """Per-partition statistics of the sample used by both grouping
+    algorithms: Z-range pivots, sample-point and skyline counts, and the
+    bounding box of each partition's sample points (used by ZDG's
+    dominance-volume matrix — much tighter than the prefix-aligned
+    RZ-region when a Z-range crosses a high curve bit)."""
+
+    pivots: List[int]
+    point_counts: np.ndarray
+    skyline_counts: np.ndarray
+    sample_size: int
+    skyline_size: int
+    box_min: np.ndarray
+    box_max: np.ndarray
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.pivots) + 1
+
+
+def range_counts(sorted_values: Sequence[int], pivots: Sequence[int]) -> np.ndarray:
+    """Count sorted values falling into each pivot-delimited range."""
+    edges = [bisect.bisect_left(sorted_values, p) for p in pivots]
+    edges = [0] + edges + [len(sorted_values)]
+    return np.diff(np.asarray(edges, dtype=np.int64))
+
+
+def compute_sample_stats(
+    sample: Dataset, codec: ZGridCodec, parts: int, expand_heavy: bool = True
+) -> SamplePartitionStats:
+    """Partition the sample along the Z-curve and attach skyline counts.
+
+    When ``expand_heavy`` is set, partitions whose skyline count exceeds
+    the per-group budget are split at skyline-quantile Z-addresses (the
+    paper's ``redistribute``); the budget here is ``|S| / parts`` scaled
+    to the original group count by the caller's choice of ``parts``.
+    """
+    zlist = codec.encode_grid(sample.points.astype(np.int64))
+    sorted_z = sorted(zlist)
+    pivots = equidepth_pivots(sorted_z, parts)
+
+    sky_points, _sky_ids = zs_skyline(sample.points, sample.ids, None, codec)
+    sky_z = sorted(codec.encode_grid(sky_points.astype(np.int64)))
+
+    if expand_heavy and sky_z:
+        # redistribute(): split partitions overloaded with skyline points.
+        scons = max(1, math.ceil(len(sky_z) / parts))
+        pivots = _split_heavy_partitions(pivots, sky_z, scons, codec)
+
+    point_counts = range_counts(sorted_z, pivots)
+    skyline_counts = range_counts(sky_z, pivots)
+    box_min, box_max = _partition_boxes(
+        sample.points, zlist, pivots, len(point_counts)
+    )
+    return SamplePartitionStats(
+        pivots=pivots,
+        point_counts=point_counts,
+        skyline_counts=skyline_counts,
+        sample_size=sample.size,
+        skyline_size=len(sky_z),
+        box_min=box_min,
+        box_max=box_max,
+    )
+
+
+def _partition_boxes(
+    points: np.ndarray,
+    zlist: Sequence[int],
+    pivots: Sequence[int],
+    num_partitions: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-partition bounding boxes of the sample points.
+
+    Empty partitions get an inverted box (``min > max``) that callers
+    must treat as "no information".
+    """
+    d = points.shape[1]
+    box_min = np.full((num_partitions, d), np.inf)
+    box_max = np.full((num_partitions, d), -np.inf)
+    pids = np.fromiter(
+        (bisect.bisect_right(pivots, z) for z in zlist),
+        dtype=np.int64,
+        count=len(zlist),
+    )
+    for pid in np.unique(pids):
+        block = points[pids == pid]
+        box_min[pid] = block.min(axis=0)
+        box_max[pid] = block.max(axis=0)
+    return box_min, box_max
+
+
+def _split_heavy_partitions(
+    pivots: List[int], sky_z: List[int], scons: int, codec: ZGridCodec
+) -> List[int]:
+    """Insert extra pivots so no partition holds more than ``scons``
+    sample skyline points (where distinct Z-addresses allow)."""
+    new_pivots = set(pivots)
+    bounds = [0] + list(pivots) + [codec.max_zaddress + 1]
+    for i in range(len(bounds) - 1):
+        lo, hi = bounds[i], bounds[i + 1]
+        start = bisect.bisect_left(sky_z, lo)
+        end = bisect.bisect_left(sky_z, hi)
+        inside = end - start
+        if inside <= scons:
+            continue
+        shards = math.ceil(inside / scons)
+        local = sky_z[start:end]
+        for extra in equidepth_pivots(local, shards):
+            if lo < extra < hi:
+                new_pivots.add(extra)
+    return sorted(new_pivots)
+
+
+def greedy_pack(
+    order: Sequence[int],
+    point_counts: np.ndarray,
+    skyline_counts: np.ndarray,
+    tcons: int,
+    scons: int,
+) -> np.ndarray:
+    """Sequential greedy packing under the two capacity constraints.
+
+    Scans partitions in the given order, filling one open group; a
+    partition that would push the open group past either cap closes it
+    and opens the next (Algorithm 1, lines 10-19).  Returns the group id
+    per partition.
+    """
+    group_map = np.full(len(point_counts), -1, dtype=np.int64)
+    gid = 0
+    tcount = 0
+    scount = 0
+    opened = False
+    for pid in order:
+        t = int(point_counts[pid])
+        s = int(skyline_counts[pid])
+        if opened and (tcount + t > tcons or scount + s > scons):
+            gid += 1
+            tcount = 0
+            scount = 0
+        group_map[pid] = gid
+        tcount += t
+        scount += s
+        opened = True
+    return group_map
+
+
+class HeuristicGroupingPartitioner(Partitioner):
+    """ZHG: Z-order partitioning + Algorithm 1 heuristic grouping."""
+
+    name = "zhg"
+
+    def __init__(self, expansion: int = DEFAULT_EXPANSION) -> None:
+        if expansion < 1:
+            raise ConfigurationError("expansion factor delta must be >= 1")
+        self.expansion = expansion
+
+    def fit(
+        self,
+        sample: Dataset,
+        codec: ZGridCodec,
+        num_groups: int,
+        seed: int = 0,
+    ) -> ZCurveRule:
+        if num_groups <= 0:
+            raise ConfigurationError("num_groups must be positive")
+        stats = compute_sample_stats(
+            sample, codec, parts=num_groups * self.expansion
+        )
+        tcons = max(1, math.ceil(stats.sample_size / num_groups))
+        scons = max(1, math.ceil(max(stats.skyline_size, 1) / num_groups))
+        # Decreasing skyline count; ties broken by partition size so big
+        # partitions are placed while groups are still empty.
+        order = np.lexsort(
+            (-stats.point_counts, -stats.skyline_counts)
+        )
+        group_map = greedy_pack(
+            order, stats.point_counts, stats.skyline_counts, tcons, scons
+        )
+        return ZCurveRule(codec, stats.pivots, group_map=group_map)

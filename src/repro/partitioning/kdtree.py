@@ -1,0 +1,133 @@
+"""kd-tree (median-split) partitioning.
+
+The paper's §3.3 lists quad-tree-based partitioning [20] among the
+schemes that lose balance in high dimensions.  The practical variant —
+a kd-tree that repeatedly splits each region at the sample median of
+its widest dimension — *is* balanced on the sample by construction, but
+like the grid it balances *input counts*, not skyline counts, so it
+still exhibits the straggler problem grouping solves.  Included as a
+fourth spatial baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.partitioning.base import PartitionRule, Partitioner
+from repro.zorder.encoding import ZGridCodec
+
+
+@dataclass
+class _Split:
+    """Internal node: route by comparing one coordinate to a threshold."""
+
+    dim: int
+    threshold: float
+    below: "KDNode"
+    above: "KDNode"
+
+
+@dataclass
+class _Leaf:
+    """Leaf node: a partition id."""
+
+    pid: int
+
+
+KDNode = Union[_Split, _Leaf]
+
+
+class KDTreeRule(PartitionRule):
+    """A fitted kd-tree of median splits."""
+
+    def __init__(self, root: KDNode, num_groups: int) -> None:
+        self._root = root
+        self._num_groups = num_groups
+
+    @property
+    def num_groups(self) -> int:
+        return self._num_groups
+
+    def assign_groups(
+        self,
+        points: np.ndarray,
+        ids: np.ndarray,
+        zaddresses: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        out = np.empty(points.shape[0], dtype=np.int64)
+        # Iterative vectorised descent: (node, row indices) worklist.
+        stack: List = [(self._root, np.arange(points.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if isinstance(node, _Leaf):
+                out[idx] = node.pid
+                continue
+            below = points[idx, node.dim] <= node.threshold
+            stack.append((node.below, idx[below]))
+            stack.append((node.above, idx[~below]))
+        return out
+
+    def depth(self) -> int:
+        """Tree depth (root = 0 for a single leaf)."""
+
+        def walk(node: KDNode) -> int:
+            if isinstance(node, _Leaf):
+                return 0
+            return 1 + max(walk(node.below), walk(node.above))
+
+        return walk(self._root)
+
+
+class KDTreePartitioner(Partitioner):
+    """Learns median splits from the sample, widest dimension first."""
+
+    name = "kdtree"
+
+    def fit(
+        self,
+        sample: Dataset,
+        codec: ZGridCodec,
+        num_groups: int,
+        seed: int = 0,
+    ) -> KDTreeRule:
+        if num_groups <= 0:
+            raise ConfigurationError("num_groups must be positive")
+        next_pid = [0]
+
+        def build(rows: np.ndarray, budget: int) -> KDNode:
+            if budget <= 1 or rows.shape[0] <= 1:
+                pid = next_pid[0]
+                next_pid[0] += 1
+                return _Leaf(pid)
+            spans = rows.max(axis=0) - rows.min(axis=0)
+            dim = int(np.argmax(spans))
+            if spans[dim] == 0.0:
+                pid = next_pid[0]
+                next_pid[0] += 1
+                return _Leaf(pid)
+            threshold = float(np.median(rows[:, dim]))
+            below_mask = rows[:, dim] <= threshold
+            # A degenerate median (all rows on one side) cannot split.
+            if below_mask.all() or not below_mask.any():
+                threshold = float(rows[:, dim].mean())
+                below_mask = rows[:, dim] <= threshold
+                if below_mask.all() or not below_mask.any():
+                    pid = next_pid[0]
+                    next_pid[0] += 1
+                    return _Leaf(pid)
+            below_budget = budget // 2
+            above_budget = budget - below_budget
+            below = build(rows[below_mask], below_budget)
+            above = build(rows[~below_mask], above_budget)
+            return _Split(dim, threshold, below, above)
+
+        root = build(sample.points, num_groups)
+        return KDTreeRule(root, next_pid[0])

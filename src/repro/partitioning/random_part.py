@@ -1,0 +1,57 @@
+"""Random (round-robin by id) partitioning [18].
+
+Every chunk gets the same distribution as the whole dataset — perfectly
+balanced input sizes, but no pruning power at all: each worker's local
+skyline is a full skyline of a random subset, so the candidate set is
+large and the merge phase does almost all the work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.partitioning.base import PartitionRule, Partitioner
+from repro.zorder.encoding import ZGridCodec
+
+
+class RandomRule(PartitionRule):
+    """Routes point ``id`` to group ``id % M`` — deterministic and
+    reproducible from the record itself, like a hash partitioner."""
+
+    def __init__(self, num_groups: int) -> None:
+        self._num_groups = num_groups
+
+    @property
+    def num_groups(self) -> int:
+        return self._num_groups
+
+    def assign_groups(
+        self,
+        points: np.ndarray,
+        ids: np.ndarray,
+        zaddresses: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        return (np.asarray(ids, dtype=np.int64) % self._num_groups).astype(
+            np.int64
+        )
+
+
+class RandomPartitioner(Partitioner):
+    """Fits a :class:`RandomRule` (nothing to learn from the sample)."""
+
+    name = "random"
+
+    def fit(
+        self,
+        sample: Dataset,
+        codec: ZGridCodec,
+        num_groups: int,
+        seed: int = 0,
+    ) -> RandomRule:
+        if num_groups <= 0:
+            raise ConfigurationError("num_groups must be positive")
+        return RandomRule(num_groups)

@@ -1,0 +1,71 @@
+"""Side-by-side strategy comparison (programmatic + CLI ``compare``).
+
+Runs several plans on one dataset and tabulates the measurements the
+paper's evaluation revolves around.  Verifies that all strategies agree
+on the skyline — a cheap end-to-end cross-check that has caught real
+bugs in development.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ResultTable, run_plan_measured
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ReproError
+
+DEFAULT_PLANS = (
+    "Grid+ZS",
+    "Angle+ZS",
+    "KDTree+ZS",
+    "Naive-Z+ZS",
+    "ZHG+ZS",
+    "ZDG+ZS+ZM",
+    "ZDG+ZS+ZMP",
+    "MR-GPMRS",
+)
+
+
+def compare_plans(
+    dataset: Dataset,
+    plans: Sequence[str] = DEFAULT_PLANS,
+    num_groups: int = 32,
+    num_workers: int = 8,
+    seed: int = 0,
+    verify_agreement: bool = True,
+    **engine_kwargs: object,
+) -> ResultTable:
+    """Run every plan on ``dataset`` and return a comparison table."""
+    table = ResultTable(
+        f"Strategy comparison on {dataset.name}",
+        [
+            "plan", "skyline", "candidates", "shuffle_records",
+            "reducer_skew", "makespan_cost", "total_cost", "wall_s",
+        ],
+    )
+    skyline_sizes = set()
+    for plan in plans:
+        report = run_plan_measured(
+            plan,
+            dataset,
+            num_groups=num_groups,
+            num_workers=num_workers,
+            seed=seed,
+            **engine_kwargs,  # type: ignore[arg-type]
+        )
+        skyline_sizes.add(report.skyline_size)
+        table.add(
+            plan=plan,
+            skyline=report.skyline_size,
+            candidates=report.num_candidates,
+            shuffle_records=report.shuffle_records,
+            reducer_skew=round(report.reducer_skew, 3),
+            makespan_cost=report.makespan_cost,
+            total_cost=report.total_cost,
+            wall_s=round(report.total_seconds, 3),
+        )
+    if verify_agreement and len(skyline_sizes) > 1:
+        raise ReproError(
+            f"strategies disagree on the skyline size: {skyline_sizes}"
+        )
+    return table

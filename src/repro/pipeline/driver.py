@@ -1,0 +1,315 @@
+"""The end-to-end skyline engine.
+
+:class:`SkylineEngine` wires the three phases over the simulated
+platform and returns a :class:`RunReport` carrying the final skyline and
+every measurement the paper's figures plot: per-phase wall and abstract
+cost, candidate counts, shuffle volume, prefilter/pruning counts, worker
+skew, and preprocessing time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.hdfs import InMemoryDFS
+from repro.mapreduce.job import JobResult
+from repro.mapreduce.runtime import MapReduceRuntime
+from repro.mapreduce.types import Block, split_dataset
+from repro.pipeline.phase1 import make_phase1_job
+from repro.pipeline.phase2 import make_phase2_job
+from repro.pipeline.plans import PlanConfig, parse_plan
+from repro.pipeline.preprocess import PreprocessResult, preprocess
+from repro.zorder.encoding import quantize_dataset
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of a run (defaults follow the paper's setup where
+    one exists: M=32 groups, 2% sample)."""
+
+    plan: PlanConfig
+    num_groups: int = 32
+    num_workers: int = 8
+    sample_ratio: float = 0.02
+    bits_per_dim: int = 12
+    expansion: int = 4
+    seed: int = 0
+    num_input_splits: Optional[int] = None
+    slowdown_factors: Optional[Sequence[float]] = None
+    speculative: bool = False
+    failed_workers: Optional[Sequence[int]] = None
+    #: "simulated" (sequential, deterministic, supports fault injection)
+    #: or "threaded" (real thread-per-worker parallelism)
+    executor: str = "simulated"
+
+    @classmethod
+    def from_plan_string(cls, plan: str, **kwargs: object) -> "EngineConfig":
+        return cls(plan=parse_plan(plan), **kwargs)  # type: ignore[arg-type]
+
+    def __post_init__(self) -> None:
+        if self.num_groups <= 0 or self.num_workers <= 0:
+            raise ConfigurationError(
+                "num_groups and num_workers must be positive"
+            )
+        if not (0.0 < self.sample_ratio <= 1.0):
+            raise ConfigurationError("sample_ratio must be in (0, 1]")
+        if self.executor not in ("simulated", "threaded"):
+            raise ConfigurationError(
+                f"executor must be 'simulated' or 'threaded'; "
+                f"got {self.executor!r}"
+            )
+        if self.executor == "threaded" and (
+            self.slowdown_factors is not None
+            or self.speculative
+            or self.failed_workers is not None
+        ):
+            raise ConfigurationError(
+                "fault injection and speculation need the simulated "
+                "executor"
+            )
+
+
+@dataclass
+class RunReport:
+    """Outcome + measurements of one end-to-end run."""
+
+    plan: PlanConfig
+    skyline: Block
+    preprocess_result: PreprocessResult
+    phase1: JobResult
+    phase2: JobResult
+    total_seconds: float
+    details: Dict[str, object] = field(default_factory=dict)
+    #: first merge round of the parallel Z-merge extension (ZMP only)
+    phase2_partial: Optional[JobResult] = None
+
+    # ------------------------------------------------------------------
+    # The quantities the paper's figures plot
+    # ------------------------------------------------------------------
+    @property
+    def skyline_size(self) -> int:
+        return self.skyline.size
+
+    @property
+    def num_candidates(self) -> int:
+        """Skyline candidates emitted by phase 1 (Figure 9's metric)."""
+        return self.phase1.counters.get("phase1", "candidates")
+
+    @property
+    def preprocess_seconds(self) -> float:
+        return self.preprocess_result.seconds
+
+    @property
+    def phase1_seconds(self) -> float:
+        return self.phase1.elapsed_seconds
+
+    @property
+    def merge_seconds(self) -> float:
+        """Phase-2 time (Figure 8's metric); includes ZMP's first round."""
+        extra = (
+            self.phase2_partial.elapsed_seconds
+            if self.phase2_partial is not None
+            else 0.0
+        )
+        return self.phase2.elapsed_seconds + extra
+
+    @property
+    def phase1_makespan_cost(self) -> int:
+        """Slowest phase-1 reducer's abstract cost — the straggler view."""
+        return self.phase1.reduce_metrics.makespan_cost
+
+    @property
+    def merge_cost(self) -> int:
+        partial = (
+            self.phase2_partial.reduce_metrics.total_cost
+            if self.phase2_partial is not None
+            else 0
+        )
+        return self.phase2.reduce_metrics.total_cost + partial
+
+    @property
+    def merge_makespan_cost(self) -> int:
+        """Makespan of the merge stage (partial + final rounds)."""
+        partial = (
+            self.phase2_partial.map_metrics.makespan_cost
+            + self.phase2_partial.reduce_metrics.makespan_cost
+            if self.phase2_partial is not None
+            else 0
+        )
+        return (
+            partial
+            + self.phase2.map_metrics.makespan_cost
+            + self.phase2.reduce_metrics.makespan_cost
+        )
+
+    @property
+    def total_cost(self) -> int:
+        """End-to-end abstract cost (map+reduce of all jobs)."""
+        total = (
+            self.phase1.map_metrics.total_cost
+            + self.phase1.reduce_metrics.total_cost
+            + self.phase2.map_metrics.total_cost
+            + self.phase2.reduce_metrics.total_cost
+        )
+        if self.phase2_partial is not None:
+            total += (
+                self.phase2_partial.map_metrics.total_cost
+                + self.phase2_partial.reduce_metrics.total_cost
+            )
+        return total
+
+    @property
+    def makespan_cost(self) -> int:
+        """Sum of per-phase makespans: the simulated distributed runtime."""
+        return (
+            self.phase1.map_metrics.makespan_cost
+            + self.phase1.reduce_metrics.makespan_cost
+            + self.merge_makespan_cost
+        )
+
+    @property
+    def shuffle_records(self) -> int:
+        partial = (
+            self.phase2_partial.shuffle_records
+            if self.phase2_partial is not None
+            else 0
+        )
+        return (
+            self.phase1.shuffle_records
+            + self.phase2.shuffle_records
+            + partial
+        )
+
+    @property
+    def reducer_skew(self) -> float:
+        """Max/mean abstract cost across phase-1 reduce workers."""
+        return self.phase1.reduce_metrics.cost_skew()
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict of the headline numbers (bench harness rows)."""
+        return {
+            "plan": self.plan.label,
+            "skyline": self.skyline_size,
+            "candidates": self.num_candidates,
+            "prefiltered": self.phase1.counters.get(
+                "phase1", "prefiltered_records"
+            ),
+            "dropped": self.phase1.counters.get("phase1", "dropped_records"),
+            "shuffle_records": self.shuffle_records,
+            "preprocess_s": round(self.preprocess_seconds, 4),
+            "phase1_s": round(self.phase1_seconds, 4),
+            "merge_s": round(self.merge_seconds, 4),
+            "total_s": round(self.total_seconds, 4),
+            "makespan_cost": self.makespan_cost,
+            "reducer_skew": round(self.reducer_skew, 3),
+        }
+
+
+class SkylineEngine:
+    """Run the three-phase pipeline for one plan configuration."""
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.config = config
+
+    def run(self, dataset: Dataset) -> RunReport:
+        """Compute the skyline of ``dataset`` end to end.
+
+        The dataset is grid-snapped once (see
+        :func:`repro.zorder.encoding.quantize_dataset`); the report's
+        skyline holds grid coordinates with original row ids.
+        """
+        cfg = self.config
+        started = time.perf_counter()
+
+        snapped, codec = quantize_dataset(
+            dataset, bits_per_dim=cfg.bits_per_dim
+        )
+
+        pre = preprocess(
+            snapped,
+            codec,
+            cfg.plan.partitioner,
+            cfg.num_groups,
+            sample_ratio=cfg.sample_ratio,
+            expansion=cfg.expansion,
+            seed=cfg.seed,
+        )
+
+        if cfg.executor == "threaded":
+            from repro.mapreduce.parallel import ThreadedCluster
+
+            cluster: SimulatedCluster = ThreadedCluster(cfg.num_workers)
+        else:
+            cluster = SimulatedCluster(
+                cfg.num_workers,
+                slowdown_factors=cfg.slowdown_factors,
+                speculative=cfg.speculative,
+                failed_workers=cfg.failed_workers,
+            )
+        cache = DistributedCache()
+        pre.publish(cache)
+        runtime = MapReduceRuntime(cluster, dfs=InMemoryDFS(), cache=cache)
+
+        splits = split_dataset(
+            snapped, cfg.num_input_splits or cfg.num_workers * 2
+        )
+
+        job1 = make_phase1_job(cfg.plan)
+        result1 = runtime.run(job1, splits, output_path="phase1/candidates")
+
+        candidate_blocks = [
+            block
+            for block in result1.outputs.values()
+            if isinstance(block, Block) and block.size > 0
+        ]
+        if not candidate_blocks:
+            candidate_blocks = [Block.empty(snapped.dimensions)]
+
+        partial_result: Optional[JobResult] = None
+        if cfg.plan.merge_algorithm == "ZMP":
+            # Parallel merge extension: first fold candidate trees on
+            # every worker, then fold the few partial skylines once.
+            from repro.pipeline.phase2 import make_partial_merge_job
+
+            partial_job = make_partial_merge_job(cfg.num_workers)
+            partial_result = runtime.run(partial_job, candidate_blocks)
+            candidate_blocks = [
+                block
+                for block in partial_result.outputs.values()
+                if isinstance(block, Block) and block.size > 0
+            ] or [Block.empty(snapped.dimensions)]
+
+        job2 = make_phase2_job(cfg.plan)
+        result2 = runtime.run(job2, candidate_blocks, output_path="skyline")
+
+        skyline = result2.outputs.get(0, Block.empty(snapped.dimensions))
+        total_seconds = time.perf_counter() - started
+        return RunReport(
+            plan=cfg.plan,
+            skyline=skyline,
+            preprocess_result=pre,
+            phase1=result1,
+            phase2=result2,
+            total_seconds=total_seconds,
+            details={
+                "n": dataset.size,
+                "d": dataset.dimensions,
+                "num_groups": pre.rule.num_groups,
+                "num_workers": cfg.num_workers,
+            },
+            phase2_partial=partial_result,
+        )
+
+
+def run_plan(
+    plan: str, dataset: Dataset, **config_kwargs: object
+) -> RunReport:
+    """One-call convenience: ``run_plan("ZDG+ZS+ZM", dataset)``."""
+    config = EngineConfig.from_plan_string(plan, **config_kwargs)
+    return SkylineEngine(config).run(dataset)

@@ -1,0 +1,92 @@
+"""Phase 1: the first MapReduce job — compute skyline candidates (§5.2).
+
+Algorithm 3's mapper, with combiners:
+
+* **mapper** — (optionally) screen input points against the SZB-tree of
+  the sample skyline; points dominated by a *sample* skyline point are
+  certainly not global skyline points and die here, before any shuffle.
+  Survivors are routed ``point -> z-address -> partition -> group``; a
+  point whose partition was pruned by dominance grouping is dropped
+  (Algorithm 3 line 7, "if m is not NULL").
+* **combiner** — per map task and group, replace the routed points by
+  their local skyline (this is what keeps the shuffle volume at
+  candidate scale rather than input scale).
+* **reducer** — per group, compute the group's skyline candidates with
+  the configured local algorithm (SB or ZS in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.registry import get_algorithm
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.types import Block
+from repro.partitioning.base import DROPPED
+from repro.pipeline.plans import PlanConfig
+from repro.pipeline.preprocess import CACHE_CODEC, CACHE_RULE, CACHE_SZB_TREE
+
+
+def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
+    """Build the candidate-computation job for a plan."""
+    local_algorithm = get_algorithm(plan.local_algorithm)
+
+    def mapper(block: Block, ctx: TaskContext) -> Iterable[Tuple[int, Block]]:
+        rule = ctx.cache.get(CACHE_RULE)
+        codec = ctx.cache.get(CACHE_CODEC)
+        points = block.points
+        ids = block.ids
+
+        if plan.prefilter:
+            # Screen the block against the SZB-tree (the ZB-tree over the
+            # sample skyline): region pruning makes this far cheaper than
+            # an all-pairs test against the sample skyline.
+            szb_tree = ctx.cache.get(CACHE_SZB_TREE)
+            dominated = szb_tree.dominated_mask_tree(points, ctx.ops)
+            if dominated.any():
+                ctx.counters.inc(
+                    "phase1", "prefiltered_records", int(dominated.sum())
+                )
+                keep = ~dominated
+                points = points[keep]
+                ids = ids[keep]
+        if points.shape[0] == 0:
+            return
+
+        zaddresses = codec.encode_grid(points.astype(np.int64))
+        gids = rule.assign_groups(points, ids, zaddresses)
+        dropped = gids == DROPPED
+        if dropped.any():
+            ctx.counters.inc("phase1", "dropped_records", int(dropped.sum()))
+        for gid in np.unique(gids[~dropped]):
+            mask = gids == gid
+            yield int(gid), Block(ids[mask], points[mask])
+
+    def combiner(
+        gid: int, blocks: List[Block], ctx: TaskContext
+    ) -> List[Block]:
+        merged = Block.concat(blocks)
+        sky_points, sky_ids = local_algorithm(
+            merged.points, merged.ids, ctx.ops
+        )
+        ctx.counters.inc(
+            "phase1", "combiner_pruned", merged.size - sky_points.shape[0]
+        )
+        return [Block(sky_ids, sky_points)]
+
+    def reducer(gid: int, blocks: List[Block], ctx: TaskContext) -> Block:
+        merged = Block.concat(blocks)
+        sky_points, sky_ids = local_algorithm(
+            merged.points, merged.ids, ctx.ops
+        )
+        ctx.counters.inc("phase1", "candidates", sky_points.shape[0])
+        return Block(sky_ids, sky_points)
+
+    return MapReduceJob(
+        name="phase1-candidates",
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+    )

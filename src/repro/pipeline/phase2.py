@@ -1,0 +1,104 @@
+"""Phase 2: the second MapReduce job — merge skyline candidates (§5.3).
+
+The mapper shuffles every group's candidate block to a single reducer
+key; the reducer merges with the configured strategy:
+
+* ``ZM`` — the paper's Z-merge: build a ZB-tree per candidate group and
+  fold them with Algorithm 4's BFS region-pruned merge;
+* ``ZS`` — concatenate candidates and run Z-search over one ZB-tree;
+* ``SB`` / ``BNL`` — concatenate and run the block-based algorithm.
+
+Each group's candidate set is dominance-free (it is a local skyline), so
+the Z-merge contract holds and the fold yields the exact global skyline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.algorithms.registry import get_algorithm
+from repro.core.exceptions import ConfigurationError
+from repro.mapreduce.job import MapReduceJob, TaskContext
+from repro.mapreduce.types import Block
+from repro.pipeline.plans import PlanConfig
+from repro.pipeline.preprocess import CACHE_CODEC
+from repro.zorder.zbtree import build_zbtree
+from repro.zorder.zmerge import zmerge_all
+
+_MERGE_KEY = 0
+
+
+def make_phase2_job(plan: PlanConfig) -> MapReduceJob:
+    """Build the candidate-merging job for a plan."""
+
+    def mapper(block: Block, ctx: TaskContext) -> Iterable[Tuple[int, Block]]:
+        # Pure shuffle: candidates flow unchanged to the merge reducer.
+        yield _MERGE_KEY, block
+
+    if plan.merge_algorithm in ("ZM", "ZMP"):
+        # ZMP's *final* round is a plain Z-merge fold; its partial round
+        # is built by make_partial_merge_job below.
+        reducer = _zmerge_reducer
+    elif plan.merge_algorithm in ("ZS", "SB", "BNL"):
+        reducer = _make_algorithm_reducer(plan.merge_algorithm)
+    else:  # pragma: no cover - PlanConfig validates earlier
+        raise ConfigurationError(
+            f"unknown merge algorithm {plan.merge_algorithm!r}"
+        )
+
+    return MapReduceJob(
+        name="phase2-merge",
+        mapper=mapper,
+        reducer=reducer,
+    )
+
+
+def make_partial_merge_job(ways: int) -> MapReduceJob:
+    """First round of the parallel Z-merge extension (ZMP).
+
+    Candidate blocks are spread over ``ways`` reduce keys; each reducer
+    Z-merges its share into a partial skyline.  Partials are
+    dominance-free, so a final single-reducer Z-merge fold over the
+    ``ways`` partials yields the exact global skyline — a two-level
+    merge tree that removes the paper's single-reducer merge bottleneck
+    (its §5.3 job merges everything in one reducer).
+    """
+    if ways <= 0:
+        raise ConfigurationError("ZMP needs a positive number of ways")
+
+    def mapper(block: Block, ctx: TaskContext) -> Iterable[Tuple[int, Block]]:
+        if block.size == 0:
+            return
+        # Deterministic spread: key by the block's first record id.
+        yield int(block.ids[0]) % ways, block
+
+    return MapReduceJob(
+        name="phase2-merge-partial",
+        mapper=mapper,
+        reducer=_zmerge_reducer,
+    )
+
+
+def _zmerge_reducer(key: int, blocks: List[Block], ctx: TaskContext) -> Block:
+    codec = ctx.cache.get(CACHE_CODEC)
+    trees = [
+        build_zbtree(codec, block.points, ids=block.ids)
+        for block in blocks
+        if block.size > 0
+    ]
+    if not trees:
+        return Block.empty(blocks[0].dimensions if blocks else 1)
+    merged = zmerge_all(trees, counter=ctx.ops)
+    _, points, ids = merged.collect()
+    return Block(ids, points)
+
+
+def _make_algorithm_reducer(name: str):
+    algorithm = get_algorithm(name)
+
+    def reducer(key: int, blocks: List[Block], ctx: TaskContext) -> Block:
+        merged = Block.concat(blocks)
+        points, ids = algorithm(merged.points, merged.ids, ctx.ops)
+        return Block(ids, points)
+
+    return reducer

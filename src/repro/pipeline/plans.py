@@ -1,0 +1,120 @@
+"""Plan strings: the paper's strategy names.
+
+The evaluation names strategies ``<Partitioner>+<LocalAlgo>[+<Merge>]``:
+``Grid+SB``, ``Angle+ZS``, ``ZDG+ZS+ZM`` and so on.  :func:`parse_plan`
+turns such a string into a :class:`PlanConfig`.
+
+Defaults: the merge algorithm is ``ZS`` unless named (the benchmarks set
+``ZM`` exactly where the paper does), and the SZB-tree mapper prefilter
+is enabled for the Z-order family only — it requires the sample skyline
+computed by the Z-order preprocessing and is part of the paper's
+approach, not of the Grid/Angle baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.core.exceptions import ConfigurationError
+
+_PARTITIONER_ALIASES: Dict[str, str] = {
+    "GRID": "grid",
+    "ANGLE": "angle",
+    "RANDOM": "random",
+    "NAIVE-Z": "naive-z",
+    "NAIVEZ": "naive-z",
+    "NZ": "naive-z",
+    "ZHG": "zhg",
+    "ZDG": "zdg",
+    "GRID-GROUPED": "grid-grouped",
+    "GRIDG": "grid-grouped",
+    "ANGLE-GROUPED": "angle-grouped",
+    "ANGLEG": "angle-grouped",
+    "KDTREE": "kdtree",
+    "KD": "kdtree",
+    "KDTREE-GROUPED": "kdtree-grouped",
+    "KDG": "kdtree-grouped",
+}
+
+_LOCAL_ALGOS = {"SB", "ZS", "BNL", "DNC", "BBS", "SALSA"}
+_MERGE_ALGOS = {"ZM", "ZMP", "ZS", "SB", "BNL"}
+#: strategies that ship the sample skyline to mappers for prefiltering
+#: (the Z-order family, plus the generic-grouping ablation variants so
+#: grouping comparisons are apples-to-apples)
+_Z_FAMILY = {
+    "naive-z", "zhg", "zdg",
+    "grid-grouped", "angle-grouped", "kdtree-grouped",
+}
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """A fully resolved strategy."""
+
+    partitioner: str
+    local_algorithm: str
+    merge_algorithm: str
+    prefilter: bool
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.partitioner not in set(_PARTITIONER_ALIASES.values()):
+            raise ConfigurationError(
+                f"unknown partitioner {self.partitioner!r}"
+            )
+        if self.local_algorithm not in _LOCAL_ALGOS:
+            raise ConfigurationError(
+                f"unknown local algorithm {self.local_algorithm!r}"
+            )
+        if self.merge_algorithm not in _MERGE_ALGOS:
+            raise ConfigurationError(
+                f"unknown merge algorithm {self.merge_algorithm!r}"
+            )
+        if not self.label:
+            object.__setattr__(self, "label", self.plan_string())
+
+    def plan_string(self) -> str:
+        """Canonical paper-style name."""
+        inverse = {v: k for k, v in _PARTITIONER_ALIASES.items()}
+        part = inverse.get(self.partitioner, self.partitioner).title()
+        return f"{part}+{self.local_algorithm}+{self.merge_algorithm}"
+
+    def with_merge(self, merge_algorithm: str) -> "PlanConfig":
+        """Copy of this plan with a different merge stage."""
+        return replace(
+            self, merge_algorithm=merge_algorithm.upper(), label=""
+        )
+
+
+def parse_plan(plan: str) -> PlanConfig:
+    """Parse ``"ZDG+ZS+ZM"``-style strings (case-insensitive)."""
+    parts = [token.strip().upper() for token in plan.split("+")]
+    if not (2 <= len(parts) <= 3):
+        raise ConfigurationError(
+            f"plan {plan!r} must look like '<Partitioner>+<Local>[+<Merge>]'"
+        )
+    part_token = parts[0]
+    if part_token not in _PARTITIONER_ALIASES:
+        raise ConfigurationError(
+            f"unknown partitioner {parts[0]!r} in plan {plan!r}; "
+            f"choose one of {sorted(_PARTITIONER_ALIASES)}"
+        )
+    partitioner = _PARTITIONER_ALIASES[part_token]
+    local = parts[1]
+    if local not in _LOCAL_ALGOS:
+        raise ConfigurationError(
+            f"unknown local algorithm {parts[1]!r} in plan {plan!r}"
+        )
+    merge = parts[2] if len(parts) == 3 else "ZS"
+    if merge not in _MERGE_ALGOS:
+        raise ConfigurationError(
+            f"unknown merge algorithm {parts[2]!r} in plan {plan!r}"
+        )
+    return PlanConfig(
+        partitioner=partitioner,
+        local_algorithm=local,
+        merge_algorithm=merge,
+        prefilter=partitioner in _Z_FAMILY,
+        label=plan,
+    )

@@ -1,0 +1,13 @@
+"""R-tree substrate for the BBS skyline baseline.
+
+The paper's related work ([2], Papadias et al.) computes skylines with
+branch-and-bound search over an R-tree; BBS is the classic progressive
+baseline every skyline paper compares against, so the substrate is built
+here from scratch: minimum bounding rectangles, Sort-Tile-Recursive bulk
+loading, and the tree structure with the queries BBS needs.
+"""
+
+from repro.rtree.mbr import MBR
+from repro.rtree.tree import RTree, bulk_load_str
+
+__all__ = ["MBR", "RTree", "bulk_load_str"]

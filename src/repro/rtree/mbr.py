@@ -1,0 +1,77 @@
+"""Minimum bounding rectangles with the dominance helpers BBS needs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ReproError
+from repro.core.point import dominates
+
+
+class MBR:
+    """An axis-aligned box ``[lower, upper]`` (inclusive corners)."""
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]) -> None:
+        lo = np.asarray(lower, dtype=np.float64)
+        hi = np.asarray(upper, dtype=np.float64)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ReproError("MBR corners must be 1-D arrays of equal length")
+        if np.any(hi < lo):
+            raise ReproError("MBR upper corner must be >= lower corner")
+        self.lower = lo
+        self.upper = hi
+
+    @classmethod
+    def of_points(cls, points: np.ndarray) -> "MBR":
+        """Tightest box around a non-empty point block."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ReproError("of_points needs a non-empty (n, d) array")
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    @classmethod
+    def union(cls, boxes: Sequence["MBR"]) -> "MBR":
+        """Smallest box covering all the given boxes."""
+        if not boxes:
+            raise ReproError("union of zero MBRs is undefined")
+        lower = np.min([b.lower for b in boxes], axis=0)
+        upper = np.max([b.upper for b in boxes], axis=0)
+        return cls(lower, upper)
+
+    @property
+    def dimensions(self) -> int:
+        return int(self.lower.shape[0])
+
+    def mindist_key(self) -> float:
+        """BBS priority: the L1 norm of the lower corner.
+
+        Processing entries in ascending key guarantees no later entry can
+        contain a dominator of an already-reported skyline point (a
+        dominator has a strictly smaller coordinate sum).
+        """
+        return float(self.lower.sum())
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        p = np.asarray(point)
+        return bool(np.all(self.lower <= p) and np.all(p <= self.upper))
+
+    def intersects(self, other: "MBR") -> bool:
+        return bool(
+            np.all(self.lower <= other.upper)
+            and np.all(other.lower <= self.upper)
+        )
+
+    def all_points_dominated_by(self, point: np.ndarray) -> bool:
+        """True when ``point`` dominates the lower corner — then it
+        dominates every point inside the box."""
+        return dominates(point, self.lower)
+
+    def area(self) -> float:
+        return float(np.prod(self.upper - self.lower))
+
+    def __repr__(self) -> str:
+        return f"MBR({self.lower.tolist()}, {self.upper.tolist()})"

@@ -1,0 +1,208 @@
+"""R-tree structure and Sort-Tile-Recursive bulk loading.
+
+STR (Leutenegger et al.) packs points into leaves by recursively sorting
+and tiling one dimension at a time, producing a balanced tree with high
+leaf utilisation — the standard way to build an R-tree for a static
+dataset like a skyline workload.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.core.exceptions import ReproError
+from repro.rtree.mbr import MBR
+
+DEFAULT_LEAF_CAPACITY = 32
+DEFAULT_FANOUT = 8
+
+
+class RTreeLeaf:
+    """Leaf node: a block of points with their ids."""
+
+    __slots__ = ("points", "ids", "mbr")
+
+    def __init__(self, points: np.ndarray, ids: np.ndarray) -> None:
+        self.points = points
+        self.ids = ids
+        self.mbr = MBR.of_points(points)
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:
+        return int(self.points.shape[0])
+
+
+class RTreeInternal:
+    """Internal node: children plus the covering MBR."""
+
+    __slots__ = ("children", "mbr")
+
+    def __init__(self, children: List["RTreeNode"]) -> None:
+        self.children = children
+        self.mbr = MBR.union([c.mbr for c in children])
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    @property
+    def size(self) -> int:
+        return sum(c.size for c in self.children)
+
+
+RTreeNode = Union[RTreeLeaf, RTreeInternal]
+
+
+class RTree:
+    """A bulk-loaded R-tree over a static point set."""
+
+    def __init__(self, root: Optional[RTreeNode], dimensions: int) -> None:
+        self.root = root
+        self.dimensions = dimensions
+
+    @property
+    def is_empty(self) -> bool:
+        return self.root is None
+
+    @property
+    def size(self) -> int:
+        return 0 if self.root is None else self.root.size
+
+    def height(self) -> int:
+        h = 0
+        node = self.root
+        while node is not None:
+            h += 1
+            if node.is_leaf:
+                break
+            node = node.children[0]  # type: ignore[union-attr]
+        return h
+
+    def leaves(self) -> Iterator[RTreeLeaf]:
+        if self.root is None:
+            return
+        stack: List[RTreeNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node  # type: ignore[misc]
+            else:
+                stack.extend(node.children)  # type: ignore[union-attr]
+
+    def range_query(self, box: MBR) -> np.ndarray:
+        """Ids of all points inside ``box``."""
+        if self.root is None:
+            return np.empty(0, dtype=np.int64)
+        hits: List[np.ndarray] = []
+        stack: List[RTreeNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.mbr.intersects(box):
+                continue
+            if node.is_leaf:
+                inside = np.all(
+                    (box.lower <= node.points)  # type: ignore[union-attr]
+                    & (node.points <= box.upper),  # type: ignore[union-attr]
+                    axis=1,
+                )
+                if inside.any():
+                    hits.append(node.ids[inside])  # type: ignore[union-attr]
+            else:
+                stack.extend(node.children)  # type: ignore[union-attr]
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(hits))
+
+    def validate(self) -> None:
+        """Structural invariants: MBR containment and balance."""
+        if self.root is None:
+            return
+        depths = set()
+
+        def walk(node: RTreeNode, depth: int) -> None:
+            if node.is_leaf:
+                depths.add(depth)
+                for row in node.points:  # type: ignore[union-attr]
+                    if not node.mbr.contains_point(row):
+                        raise ReproError("leaf point escapes its MBR")
+                return
+            for child in node.children:  # type: ignore[union-attr]
+                if not (
+                    np.all(node.mbr.lower <= child.mbr.lower)
+                    and np.all(child.mbr.upper <= node.mbr.upper)
+                ):
+                    raise ReproError("child MBR escapes parent MBR")
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        if len(depths) > 1:
+            raise ReproError(f"unbalanced tree: leaf depths {sorted(depths)}")
+
+
+def bulk_load_str(
+    points: np.ndarray,
+    ids: Optional[np.ndarray] = None,
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    fanout: int = DEFAULT_FANOUT,
+) -> RTree:
+    """Build an R-tree with Sort-Tile-Recursive packing."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ReproError(f"points must be 2-D; got shape {pts.shape}")
+    if leaf_capacity < 2 or fanout < 2:
+        raise ReproError("leaf_capacity and fanout must both be >= 2")
+    n, d = pts.shape
+    if ids is None:
+        id_arr = np.arange(n, dtype=np.int64)
+    else:
+        id_arr = np.asarray(ids, dtype=np.int64)
+        if id_arr.shape != (n,):
+            raise ReproError("ids must match points length")
+    if n == 0:
+        return RTree(None, d)
+
+    order = _str_order(pts, leaf_capacity)
+    sorted_pts = pts[order]
+    sorted_ids = id_arr[order]
+    leaves: List[RTreeNode] = [
+        RTreeLeaf(sorted_pts[i : i + leaf_capacity],
+                  sorted_ids[i : i + leaf_capacity])
+        for i in range(0, n, leaf_capacity)
+    ]
+    level: List[RTreeNode] = leaves
+    while len(level) > 1:
+        level = [
+            RTreeInternal(level[i : i + fanout])
+            for i in range(0, len(level), fanout)
+        ]
+    return RTree(level[0], d)
+
+
+def _str_order(points: np.ndarray, leaf_capacity: int) -> np.ndarray:
+    """Row ordering that tiles space dimension by dimension (STR)."""
+    n, d = points.shape
+    index = np.arange(n, dtype=np.int64)
+
+    def recurse(idx: np.ndarray, dim: int) -> np.ndarray:
+        if idx.size <= leaf_capacity or dim >= d:
+            return idx
+        idx = idx[np.argsort(points[idx, dim], kind="stable")]
+        leaves_needed = math.ceil(idx.size / leaf_capacity)
+        # Number of slabs along this dimension: the (d-dim)-th root of
+        # the remaining leaf count.
+        slabs = max(1, round(leaves_needed ** (1.0 / (d - dim))))
+        slab_size = math.ceil(idx.size / slabs)
+        pieces = [
+            recurse(idx[i : i + slab_size], dim + 1)
+            for i in range(0, idx.size, slab_size)
+        ]
+        return np.concatenate(pieces)
+
+    return recurse(index, 0)

@@ -1,0 +1,164 @@
+"""RZ-regions and the region-level dominance test of Lemma 1.
+
+An RZ-region is the smallest Z-address-aligned box covering a contiguous
+run of Z-addresses: keep the common bit prefix of the lowest and highest
+address, fill the suffix with zeros for the min point and ones for the max
+point (Definition 2 in the paper).
+
+Lemma 1 gives a three-way relation between regions ``R_i`` and ``R_j``:
+
+1. ``maxpt(R_i)`` dominates ``minpt(R_j)``  →  ``R_i`` *fully dominates*
+   ``R_j`` (every point of ``R_i`` dominates every point of ``R_j``);
+2. neither region's min point dominates the other's max point  →
+   *incomparable* (no point of either region dominates any of the other);
+3. otherwise ``R_i`` *partially dominates* ``R_j`` — some points of
+   ``R_j`` may be dominated, so the algorithms must descend.
+
+All comparisons are over integer grid coordinates, which makes the three
+cases exact (no floating-point boundary ambiguity).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.point import dominates
+from repro.zorder.encoding import ZGridCodec
+
+
+class RegionRelation(enum.Enum):
+    """Outcome of the Lemma 1 three-way region dominance test."""
+
+    FULLY_DOMINATES = "fully_dominates"
+    PARTIALLY_DOMINATES = "partially_dominates"
+    INCOMPARABLE = "incomparable"
+
+
+class RZRegion:
+    """The RZ-region spanned by a Z-address interval ``[alpha, beta]``.
+
+    Attributes
+    ----------
+    minz, maxz:
+        Z-addresses of the region's min and max corners (prefix + zeros /
+        prefix + ones).
+    minpt, maxpt:
+        Grid coordinates of those corners, shape ``(d,)`` int64 arrays.
+    """
+
+    __slots__ = ("minz", "maxz", "minpt", "maxpt")
+
+    def __init__(self, codec: ZGridCodec, alpha: int, beta: int) -> None:
+        minz, maxz = codec.region_bounds(alpha, beta)
+        self.minz = minz
+        self.maxz = maxz
+        self.minpt = codec.decode_to_grid(minz).astype(np.int64)
+        self.maxpt = codec.decode_to_grid(maxz).astype(np.int64)
+
+    @classmethod
+    def from_corners(
+        cls, minz: int, maxz: int, minpt: np.ndarray, maxpt: np.ndarray
+    ) -> "RZRegion":
+        """Build a region directly from precomputed corners (no decode)."""
+        region = cls.__new__(cls)
+        region.minz = minz
+        region.maxz = maxz
+        region.minpt = np.asarray(minpt, dtype=np.int64)
+        region.maxpt = np.asarray(maxpt, dtype=np.int64)
+        return region
+
+    # ------------------------------------------------------------------
+    # Lemma 1
+    # ------------------------------------------------------------------
+    def relation_to(self, other: "RZRegion") -> RegionRelation:
+        """Three-way Lemma 1 relation of ``self`` towards ``other``.
+
+        ``FULLY_DOMINATES`` / ``PARTIALLY_DOMINATES`` describe what
+        ``self`` does to ``other``; ``INCOMPARABLE`` is symmetric.
+        """
+        if dominates(self.maxpt, other.minpt):
+            return RegionRelation.FULLY_DOMINATES
+        if dominates(self.minpt, other.maxpt):
+            return RegionRelation.PARTIALLY_DOMINATES
+        return RegionRelation.INCOMPARABLE
+
+    def fully_dominates(self, other: "RZRegion") -> bool:
+        """True when every point of ``self`` dominates every point of ``other``."""
+        return dominates(self.maxpt, other.minpt)
+
+    def may_dominate(self, other: "RZRegion") -> bool:
+        """True unless no point of ``self`` can dominate any point of ``other``."""
+        return dominates(self.minpt, other.maxpt)
+
+    def incomparable_with(self, other: "RZRegion") -> bool:
+        """True when no dominance is possible in either direction."""
+        return not self.may_dominate(other) and not other.may_dominate(self)
+
+    # ------------------------------------------------------------------
+    # Point-level helpers
+    # ------------------------------------------------------------------
+    def may_contain_dominator_of(self, point: np.ndarray) -> bool:
+        """Can some point inside this region dominate ``point``?
+
+        The best possible dominator in the region is ``minpt``; if even it
+        fails, the region can be pruned when searching for dominators.
+        """
+        return dominates(self.minpt, point)
+
+    def all_points_dominated_by(self, point: np.ndarray) -> bool:
+        """Is every point of this region dominated by ``point``?
+
+        True when ``point`` dominates ``minpt``: then for any region point
+        ``b >= minpt`` we have ``point <= minpt <= b`` with strictness
+        inherited from the strict dimension of ``point < minpt``.
+        """
+        return dominates(point, self.minpt)
+
+    def may_contain_point_dominated_by(self, point: np.ndarray) -> bool:
+        """Can some point of this region be dominated by ``point``?
+
+        Requires ``point <= maxpt`` componentwise; otherwise ``point``
+        exceeds the region somewhere and can dominate nothing inside it.
+        """
+        return bool(np.all(point <= self.maxpt))
+
+    def contains_zaddress(self, zaddress: int) -> bool:
+        """Z-interval membership test."""
+        return self.minz <= zaddress <= self.maxz
+
+    def contains_grid_point(self, point: np.ndarray) -> bool:
+        """Box membership test on grid coordinates."""
+        p = np.asarray(point)
+        return bool(np.all(self.minpt <= p) and np.all(p <= self.maxpt))
+
+    def volume(self) -> float:
+        """Grid-space volume of the region box (cells, inclusive corners)."""
+        side = (self.maxpt - self.minpt + 1).astype(np.float64)
+        return float(np.prod(side))
+
+    def __repr__(self) -> str:
+        return f"RZRegion(minpt={self.minpt.tolist()}, maxpt={self.maxpt.tolist()})"
+
+
+def dominance_volume(region_i: RZRegion, region_j: RZRegion) -> float:
+    """Dominance volume between two partition RZ-regions (Definition 5).
+
+    For each dimension ``k``, collect the four corner coordinates
+    ``X_k = {minpt_i[k], maxpt_i[k], minpt_j[k], maxpt_j[k]}`` and take the
+    gap between the largest and the second largest value; the dominance
+    volume is the product of these per-dimension gaps.  It estimates how
+    much of one region's box lies strictly beyond the other region — the
+    part whose points stand to be dominated when the two partitions are
+    co-located on one worker.
+
+    The definition is commutative and ``V(R, R) = 0``, matching the
+    properties the paper states.
+    """
+    stacked = np.stack(
+        [region_i.minpt, region_i.maxpt, region_j.minpt, region_j.maxpt]
+    ).astype(np.float64)
+    ordered = np.sort(stacked, axis=0)
+    gaps = ordered[-1] - ordered[-2]
+    return float(np.prod(gaps))

@@ -1,0 +1,539 @@
+"""The ZB-tree: a balanced tree over Z-sorted points with RZ-region nodes.
+
+Leaves store blocks of Z-sorted grid points (numpy arrays, so leaf-level
+dominance tests are vectorised); internal nodes store the RZ-region of
+their subtree.  The tree is built bottom-up from the Z-sorted input, as in
+Lee et al. [5].
+
+Deletion support (needed by Z-merge's ``UDominate``) filters leaf blocks in
+place and drops emptied nodes.  Regions are *not* recomputed after
+deletions: a stale region is a superset of the live one, which keeps every
+pruning test conservative and therefore safe (see the proofs in the method
+docstrings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import ZOrderError
+from repro.core.point import block_dominates, dominates_block
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.rzregion import RZRegion
+
+DEFAULT_LEAF_CAPACITY = 32
+DEFAULT_FANOUT = 8
+
+
+@dataclass
+class OpCounter:
+    """Operation counts used by the simulated cost model.
+
+    ``point_tests`` counts point-vs-point dominance tests (a vectorised
+    test of one point against a block of ``m`` points counts ``m``);
+    ``region_tests`` counts RZ-region dominance tests (Lemma 1 or
+    point-vs-region); ``nodes_visited`` counts tree nodes touched.
+    """
+
+    point_tests: int = 0
+    region_tests: int = 0
+    nodes_visited: int = 0
+
+    def merge(self, other: "OpCounter") -> None:
+        """Accumulate another counter's totals into this one."""
+        self.point_tests += other.point_tests
+        self.region_tests += other.region_tests
+        self.nodes_visited += other.nodes_visited
+
+    def total(self) -> int:
+        """Single scalar cost figure (used for makespan accounting)."""
+        return self.point_tests + self.region_tests + self.nodes_visited
+
+
+class ZBLeaf:
+    """Leaf node: a Z-sorted block of points with their ids and region."""
+
+    __slots__ = ("zaddresses", "points", "ids", "region")
+
+    def __init__(
+        self,
+        zaddresses: List[int],
+        points: np.ndarray,
+        ids: np.ndarray,
+        codec: ZGridCodec,
+    ) -> None:
+        self.zaddresses = zaddresses
+        self.points = points
+        self.ids = ids
+        self.region = RZRegion(codec, zaddresses[0], zaddresses[-1])
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def size(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def data_minz(self) -> int:
+        return self.zaddresses[0]
+
+    @property
+    def data_maxz(self) -> int:
+        return self.zaddresses[-1]
+
+
+class ZBInternal:
+    """Internal node: ordered children plus the covering RZ-region."""
+
+    __slots__ = ("children", "region")
+
+    def __init__(self, children: List["ZBNode"], codec: ZGridCodec) -> None:
+        self.children = children
+        self.region = RZRegion(
+            codec, children[0].data_minz, children[-1].data_maxz
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    @property
+    def size(self) -> int:
+        return sum(child.size for child in self.children)
+
+    @property
+    def data_minz(self) -> int:
+        return self.children[0].data_minz
+
+    @property
+    def data_maxz(self) -> int:
+        return self.children[-1].data_maxz
+
+
+ZBNode = Union[ZBLeaf, ZBInternal]
+
+
+class ZBTree:
+    """A ZB-tree over grid points.
+
+    Construct via :func:`build_zbtree` (bulk bottom-up build); an empty
+    tree has ``root is None``.
+    """
+
+    def __init__(
+        self,
+        codec: ZGridCodec,
+        root: Optional[ZBNode],
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        self.codec = codec
+        self.root = root
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.root is None
+
+    @property
+    def size(self) -> int:
+        """Number of points currently stored."""
+        return 0 if self.root is None else self.root.size
+
+    def height(self) -> int:
+        """Height of the tree (0 for empty, 1 for a single leaf)."""
+        h = 0
+        node = self.root
+        while node is not None:
+            h += 1
+            if node.is_leaf:
+                break
+            node = node.children[0]
+        return h
+
+    def leaves(self) -> Iterator[ZBLeaf]:
+        """Yield leaves in Z-order."""
+        if self.root is None:
+            return
+        stack: List[ZBNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node  # type: ignore[misc]
+            else:
+                stack.extend(reversed(node.children))  # type: ignore[union-attr]
+
+    def collect(self) -> Tuple[List[int], np.ndarray, np.ndarray]:
+        """Return all ``(zaddresses, points, ids)`` in Z-order."""
+        zs: List[int] = []
+        blocks: List[np.ndarray] = []
+        id_blocks: List[np.ndarray] = []
+        for leaf in self.leaves():
+            zs.extend(leaf.zaddresses)
+            blocks.append(leaf.points)
+            id_blocks.append(leaf.ids)
+        if not blocks:
+            d = self.codec.dimensions
+            return [], np.empty((0, d)), np.empty(0, dtype=np.int64)
+        return zs, np.vstack(blocks), np.concatenate(id_blocks)
+
+    def points(self) -> np.ndarray:
+        """All stored points in Z-order, shape ``(n, d)``."""
+        return self.collect()[1]
+
+    def ids(self) -> np.ndarray:
+        """Ids of all stored points in Z-order."""
+        return self.collect()[2]
+
+    def range_query(
+        self, lower: np.ndarray, upper: np.ndarray
+    ) -> np.ndarray:
+        """Ids of stored points inside the box ``[lower, upper]``.
+
+        Region pruning: a subtree is visited only if its RZ-region box
+        intersects the query box.  Handy general-purpose access path
+        for the substrate (and used by analysis tooling).
+        """
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        if self.root is None:
+            return np.empty(0, dtype=np.int64)
+        hits: List[np.ndarray] = []
+        stack: List[ZBNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            region = node.region
+            if np.any(region.maxpt < lower) or np.any(
+                region.minpt > upper
+            ):
+                continue
+            if node.is_leaf:
+                inside = np.all(
+                    (lower <= node.points)  # type: ignore[union-attr]
+                    & (node.points <= upper),  # type: ignore[union-attr]
+                    axis=1,
+                )
+                if inside.any():
+                    hits.append(node.ids[inside])  # type: ignore[union-attr]
+            else:
+                stack.extend(node.children)  # type: ignore[union-attr]
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(hits))
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`ZOrderError`.
+
+        Invariants: leaves appear in globally non-decreasing Z-order, every
+        leaf point's Z-address lies inside every ancestor region, and node
+        sizes are consistent.
+        """
+        zs, points, _ = self.collect()
+        if any(zs[i] > zs[i + 1] for i in range(len(zs) - 1)):
+            raise ZOrderError("leaf z-addresses are not sorted")
+        recomputed = self.codec.encode_grid(points.astype(np.int64))
+        if recomputed != zs:
+            raise ZOrderError("stored z-addresses disagree with stored points")
+
+        def check(node: ZBNode) -> None:
+            if node.is_leaf:
+                leaf = node
+                for z in leaf.zaddresses:  # type: ignore[union-attr]
+                    if not node.region.contains_zaddress(z):
+                        raise ZOrderError("leaf point outside leaf region")
+                return
+            for child in node.children:  # type: ignore[union-attr]
+                if not (
+                    node.region.minz <= child.region.minz
+                    and child.region.maxz <= node.region.maxz
+                ):
+                    raise ZOrderError("child region escapes parent region")
+                check(child)
+
+        if self.root is not None:
+            check(self.root)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_dominated(
+        self, point: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> bool:
+        """Is ``point`` dominated by any point stored in the tree?
+
+        Region pruning: a subtree can contain a dominator only if its
+        region's min point dominates ``point`` — ``minpt`` is the best
+        dominator the region could possibly hold.
+        """
+        if self.root is None:
+            return False
+        counter = counter if counter is not None else OpCounter()
+        stack: List[ZBNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            counter.nodes_visited += 1
+            counter.region_tests += 1
+            if not node.region.may_contain_dominator_of(point):
+                continue
+            if node.is_leaf:
+                counter.point_tests += node.size
+                if block_dominates(node.points, point).any():  # type: ignore[union-attr]
+                    return True
+            else:
+                stack.extend(node.children)  # type: ignore[union-attr]
+        return False
+
+    def dominated_mask_tree(
+        self, points: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """Batched :meth:`is_dominated`: one tree walk for many probes.
+
+        Returns a boolean array, entry ``i`` True iff ``points[i]`` is
+        dominated by some stored point.  The walk carries the subset of
+        still-undecided probes past each region test, so the pruning
+        logic is identical to the single-point query — just vectorised.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        n = points.shape[0]
+        out = np.zeros(n, dtype=bool)
+        if self.root is None or n == 0:
+            return out
+        counter = counter if counter is not None else OpCounter()
+        stack: List[Tuple[ZBNode, np.ndarray]] = [
+            (self.root, np.arange(n, dtype=np.int64))
+        ]
+        while stack:
+            node, probe_idx = stack.pop()
+            probe_idx = probe_idx[~out[probe_idx]]
+            if probe_idx.size == 0:
+                continue
+            counter.nodes_visited += 1
+            counter.region_tests += probe_idx.size
+            # A subtree can dominate probe p only if minpt dominates p.
+            minpt = node.region.minpt.astype(np.float64)
+            feasible = dominates_block(minpt, points[probe_idx])
+            probe_idx = probe_idx[feasible]
+            if probe_idx.size == 0:
+                continue
+            if node.is_leaf:
+                block = node.points  # type: ignore[union-attr]
+                counter.point_tests += probe_idx.size * block.shape[0]
+                from repro.core.point import dominated_mask
+
+                hit = dominated_mask(points[probe_idx], block)
+                out[probe_idx[hit]] = True
+            else:
+                for child in node.children:  # type: ignore[union-attr]
+                    stack.append((child, probe_idx))
+        return out
+
+    def remove_dominated_by_block(
+        self, block: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> int:
+        """Batched ``UDominate`` removal: delete every stored point
+        dominated by *any* row of ``block``.  Returns the removed count."""
+        block = np.asarray(block, dtype=np.float64)
+        if self.root is None or block.shape[0] == 0:
+            return 0
+        counter = counter if counter is not None else OpCounter()
+        removed, new_root = self._remove_block_rec(self.root, block, counter)
+        self.root = new_root
+        return removed
+
+    def _remove_block_rec(
+        self, node: ZBNode, block: np.ndarray, counter: OpCounter
+    ) -> Tuple[int, Optional[ZBNode]]:
+        counter.nodes_visited += 1
+        counter.region_tests += block.shape[0]
+        maxpt = node.region.maxpt.astype(np.float64)
+        # Rows that could dominate something inside the region.
+        feasible = np.all(block <= maxpt, axis=1)
+        if not feasible.any():
+            return 0, node
+        sub = block[feasible]
+        counter.region_tests += sub.shape[0]
+        minpt = node.region.minpt.astype(np.float64)
+        if block_dominates(sub, minpt).any():
+            # Some row dominates the region's min corner, hence every
+            # point of the subtree.
+            return node.size, None
+        if node.is_leaf:
+            from repro.core.point import dominated_mask
+
+            leaf = node
+            counter.point_tests += leaf.size * sub.shape[0]
+            dominated = dominated_mask(leaf.points, sub)  # type: ignore[union-attr]
+            n_removed = int(dominated.sum())
+            if n_removed == 0:
+                return 0, node
+            if n_removed == leaf.size:
+                return n_removed, None
+            keep = ~dominated
+            leaf.points = leaf.points[keep]  # type: ignore[union-attr]
+            leaf.ids = leaf.ids[keep]  # type: ignore[union-attr]
+            leaf.zaddresses = [
+                z
+                for z, k in zip(leaf.zaddresses, keep)  # type: ignore[union-attr]
+                if k
+            ]
+            return n_removed, node
+        total = 0
+        new_children: List[ZBNode] = []
+        for child in node.children:  # type: ignore[union-attr]
+            n_removed, new_child = self._remove_block_rec(child, sub, counter)
+            total += n_removed
+            if new_child is not None:
+                new_children.append(new_child)
+        if not new_children:
+            return total, None
+        node.children = new_children  # type: ignore[union-attr]
+        return total, node
+
+    def remove_dominated_by(
+        self, point: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> int:
+        """Delete every stored point dominated by ``point``; return count.
+
+        This is the paper's ``UDominate`` removal direction.  Subtrees
+        whose region min point is dominated by ``point`` are dropped
+        wholesale (every point of such a region is dominated); subtrees
+        whose region max point is not weakly above ``point`` cannot contain
+        dominated points and are skipped.  Stale (too-large) regions after
+        earlier deletions only make these tests more conservative.
+        """
+        if self.root is None:
+            return 0
+        counter = counter if counter is not None else OpCounter()
+        removed, new_root = self._remove_rec(self.root, point, counter)
+        self.root = new_root
+        return removed
+
+    def _remove_rec(
+        self, node: ZBNode, point: np.ndarray, counter: OpCounter
+    ) -> Tuple[int, Optional[ZBNode]]:
+        counter.nodes_visited += 1
+        counter.region_tests += 1
+        if not node.region.may_contain_point_dominated_by(point):
+            return 0, node
+        counter.region_tests += 1
+        if node.region.all_points_dominated_by(point):
+            return node.size, None
+        if node.is_leaf:
+            leaf = node
+            counter.point_tests += leaf.size
+            dominated = dominates_block(point, leaf.points)  # type: ignore[union-attr]
+            n_removed = int(dominated.sum())
+            if n_removed == 0:
+                return 0, node
+            if n_removed == leaf.size:
+                return n_removed, None
+            keep = ~dominated
+            leaf.points = leaf.points[keep]  # type: ignore[union-attr]
+            leaf.ids = leaf.ids[keep]  # type: ignore[union-attr]
+            leaf.zaddresses = [
+                z
+                for z, k in zip(leaf.zaddresses, keep)  # type: ignore[union-attr]
+                if k
+            ]
+            return n_removed, node
+        total = 0
+        new_children: List[ZBNode] = []
+        for child in node.children:  # type: ignore[union-attr]
+            n_removed, new_child = self._remove_rec(child, point, counter)
+            total += n_removed
+            if new_child is not None:
+                new_children.append(new_child)
+        if not new_children:
+            return total, None
+        node.children = new_children  # type: ignore[union-attr]
+        return total, node
+
+
+def build_zbtree(
+    codec: ZGridCodec,
+    points: np.ndarray,
+    ids: Optional[Sequence[int]] = None,
+    zaddresses: Optional[Sequence[int]] = None,
+    leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+    fanout: int = DEFAULT_FANOUT,
+) -> ZBTree:
+    """Bulk-build a ZB-tree bottom-up from grid points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of grid coordinates (integer-valued).  May be
+        empty.
+    ids:
+        Optional stable identifiers (default ``0..n-1``).
+    zaddresses:
+        Optional precomputed Z-addresses matching ``points`` (skips
+        re-encoding).  They need not be sorted; the build sorts.
+    """
+    if leaf_capacity < 2 or fanout < 2:
+        raise ZOrderError("leaf_capacity and fanout must both be >= 2")
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ZOrderError(f"points must be 2-D; got shape {pts.shape}")
+    n = pts.shape[0]
+    if ids is None:
+        id_arr = np.arange(n, dtype=np.int64)
+    else:
+        id_arr = np.asarray(ids, dtype=np.int64)
+        if id_arr.shape != (n,):
+            raise ZOrderError("ids must match points length")
+    if n == 0:
+        return ZBTree(codec, None, leaf_capacity, fanout)
+
+    if zaddresses is None:
+        zlist = codec.encode_grid(pts.astype(np.int64))
+    else:
+        zlist = list(zaddresses)
+        if len(zlist) != n:
+            raise ZOrderError("zaddresses must match points length")
+
+    order = sorted(range(n), key=lambda i: zlist[i])
+    zsorted = [zlist[i] for i in order]
+    psorted = pts[order]
+    isorted = id_arr[order]
+
+    leaves: List[ZBNode] = []
+    for start in range(0, n, leaf_capacity):
+        end = min(start + leaf_capacity, n)
+        leaves.append(
+            ZBLeaf(
+                zsorted[start:end],
+                psorted[start:end],
+                isorted[start:end],
+                codec,
+            )
+        )
+    level: List[ZBNode] = leaves
+    while len(level) > 1:
+        parents: List[ZBNode] = []
+        for start in range(0, len(level), fanout):
+            parents.append(ZBInternal(level[start : start + fanout], codec))
+        level = parents
+    return ZBTree(codec, level[0], leaf_capacity, fanout)
+
+
+def rebuild(tree: ZBTree) -> ZBTree:
+    """Rebuild a tree from its surviving points (rebalance after merges)."""
+    zs, points, ids = tree.collect()
+    return build_zbtree(
+        tree.codec,
+        points,
+        ids=ids,
+        zaddresses=zs,
+        leaf_capacity=tree.leaf_capacity,
+        fanout=tree.fanout,
+    )

@@ -1,0 +1,186 @@
+"""Z-merge (Algorithm 4): merge skyline-candidate ZB-trees.
+
+``zmerge`` folds a source tree ``Z_src`` (new candidates) into a skyline
+tree ``Z_sky`` (the accumulated global skyline) using a breadth-first
+traversal of the source with three-way region pruning:
+
+* source nodes whose region is *fully dominated* by some skyline point are
+  discarded without looking at their points;
+* source subtrees *incomparable* with the whole skyline tree are grafted
+  wholesale (``Zdominate-branches`` in the paper) — no point-level work;
+* everything else descends; at the leaves each surviving point is tested
+  against the skyline tree and, when accepted, dominated skyline points
+  are deleted (the paper's ``UDominate``).
+
+Finally the tree is rebalanced (we rebuild from the surviving points,
+which has the same asymptotics at our scales and is far simpler than
+incremental rebalancing).
+
+Contract: **both inputs must be dominance-free within themselves** (each
+is the skyline of its own point set — exactly what the pipeline's phase-1
+reducers emit).  Under that contract the result is the skyline of the
+union of the two point sets, which the test suite verifies against the
+oracle.  Use :func:`zmerge_all` to fold many candidate trees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.zorder.rzregion import RZRegion
+from repro.zorder.zbtree import (
+    OpCounter,
+    ZBNode,
+    ZBTree,
+    build_zbtree,
+)
+
+
+def zmerge(
+    sky: ZBTree, src: ZBTree, counter: Optional[OpCounter] = None
+) -> ZBTree:
+    """Merge candidate tree ``src`` into skyline tree ``sky``.
+
+    Returns a new balanced ZB-tree containing the skyline of the union.
+    ``sky`` is consumed (its nodes may be mutated by deletions); callers
+    should use the returned tree.
+    """
+    counter = counter if counter is not None else OpCounter()
+    if src.root is None:
+        return sky
+    if sky.root is None:
+        return src
+
+    grafts: List[ZBNode] = []
+    accepted_points: List[np.ndarray] = []
+    accepted_ids: List[int] = []
+    accepted_zs: List[int] = []
+
+    queue = deque([src.root])
+    while queue:
+        node = queue.popleft()
+        counter.nodes_visited += 1
+        if sky.root is None:
+            # Every skyline point was deleted by earlier accepted points;
+            # whatever remains of the source survives untouched.
+            grafts.append(node)
+            continue
+        counter.region_tests += 1
+        if sky.is_dominated(node.region.minpt.astype(np.float64), counter):
+            # Some skyline point dominates the region's min corner, hence
+            # every point in the region: discard the subtree.
+            continue
+        counter.region_tests += 1
+        if _incomparable_with_tree(sky, node.region):
+            grafts.append(node)
+            continue
+        if node.is_leaf:
+            # Batched UDominate: one tree walk decides the whole leaf
+            # block, then one walk deletes the skyline points the
+            # accepted block dominates.  Deferring the deletions is safe
+            # because source points never dominate each other (the
+            # source tree is dominance-free), so a stale skyline point
+            # can never wrongly reject a later source point.
+            dominated = sky.dominated_mask_tree(
+                node.points, counter  # type: ignore[union-attr]
+            )
+            if not dominated.all():
+                keep = ~dominated
+                accepted = node.points[keep]  # type: ignore[union-attr]
+                accepted_points.extend(accepted)
+                accepted_ids.extend(
+                    int(i) for i in node.ids[keep]  # type: ignore[union-attr]
+                )
+                accepted_zs.extend(
+                    z
+                    for z, k in zip(node.zaddresses, keep)  # type: ignore[union-attr]
+                    if k
+                )
+                sky.remove_dominated_by_block(accepted, counter)
+        else:
+            queue.extend(node.children)  # type: ignore[union-attr]
+
+    return _rebuild_with(sky, grafts, accepted_points, accepted_ids, accepted_zs)
+
+
+def _incomparable_with_tree(sky: ZBTree, region: RZRegion) -> bool:
+    """Lemma 1 case 2 between a source region and the whole skyline tree."""
+    if sky.root is None:
+        return True
+    root_region = sky.root.region
+    return root_region.incomparable_with(region)
+
+
+def _collect_node(
+    node: ZBNode,
+) -> Tuple[List[int], List[np.ndarray], List[np.ndarray]]:
+    """Gather (zaddresses, point blocks, id blocks) of a grafted subtree."""
+    zs: List[int] = []
+    blocks: List[np.ndarray] = []
+    ids: List[np.ndarray] = []
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if n.is_leaf:
+            zs.extend(n.zaddresses)  # type: ignore[union-attr]
+            blocks.append(n.points)  # type: ignore[union-attr]
+            ids.append(n.ids)  # type: ignore[union-attr]
+        else:
+            stack.extend(n.children)  # type: ignore[union-attr]
+    return zs, blocks, ids
+
+
+def _rebuild_with(
+    sky: ZBTree,
+    grafts: List[ZBNode],
+    accepted_points: List[np.ndarray],
+    accepted_ids: List[int],
+    accepted_zs: List[int],
+) -> ZBTree:
+    """Combine surviving skyline points, grafts, and accepted leaves."""
+    zs, points, ids = sky.collect()
+    all_zs: List[int] = list(zs)
+    blocks: List[np.ndarray] = [points] if points.shape[0] else []
+    id_blocks: List[np.ndarray] = [ids] if ids.shape[0] else []
+    for node in grafts:
+        gz, gblocks, gids = _collect_node(node)
+        all_zs.extend(gz)
+        blocks.extend(gblocks)
+        id_blocks.extend(gids)
+    if accepted_points:
+        all_zs.extend(accepted_zs)
+        blocks.append(np.vstack(accepted_points))
+        id_blocks.append(np.asarray(accepted_ids, dtype=np.int64))
+    if not blocks:
+        return ZBTree(sky.codec, None, sky.leaf_capacity, sky.fanout)
+    merged_points = np.vstack(blocks)
+    merged_ids = np.concatenate(id_blocks)
+    return build_zbtree(
+        sky.codec,
+        merged_points,
+        ids=merged_ids,
+        zaddresses=all_zs,
+        leaf_capacity=sky.leaf_capacity,
+        fanout=sky.fanout,
+    )
+
+
+def zmerge_all(
+    trees: Iterable[ZBTree], counter: Optional[OpCounter] = None
+) -> ZBTree:
+    """Fold many dominance-free candidate trees into one skyline tree.
+
+    Raises ``ValueError`` for an empty iterable.
+    """
+    counter = counter if counter is not None else OpCounter()
+    iterator = iter(trees)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("zmerge_all needs at least one tree") from None
+    for tree in iterator:
+        result = zmerge(result, tree, counter)
+    return result

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.zorder.encoding import ZGridCodec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def grid_codec_2d() -> ZGridCodec:
+    """Identity codec over a 4-bit 2-D grid (16x16 cells)."""
+    return ZGridCodec.grid_identity(2, bits_per_dim=4)
+
+
+@pytest.fixture
+def grid_codec_3d() -> ZGridCodec:
+    return ZGridCodec.grid_identity(3, bits_per_dim=6)
+
+
+@pytest.fixture
+def small_grid_dataset(rng: np.random.Generator) -> Dataset:
+    """120 integer grid points in [0, 16)^3 (exact for all algorithms)."""
+    points = rng.integers(0, 16, (120, 3)).astype(float)
+    return Dataset(points, name="small-grid")
+
+
+def random_grid_points(
+    rng: np.random.Generator, n: int, d: int, top: int = 64
+) -> np.ndarray:
+    """Integer-valued float points suitable for exact z-order tests."""
+    return rng.integers(0, top, (n, d)).astype(float)

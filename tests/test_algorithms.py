@@ -1,0 +1,114 @@
+"""Unit tests for the centralized skyline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    available_algorithms,
+    bnl_skyline,
+    dnc_skyline,
+    get_algorithm,
+    sort_based_skyline,
+    zs_skyline,
+)
+from repro.algorithms.bbs import bbs_skyline
+from repro.algorithms.bitstring import bitstring_skyline, cell_coordinates
+from repro.algorithms.salsa import salsa_skyline
+from repro.core.exceptions import ConfigurationError
+from repro.core.skyline import is_skyline_of
+from repro.zorder.zbtree import OpCounter
+
+ALGORITHMS = [
+    bnl_skyline,
+    sort_based_skyline,
+    dnc_skyline,
+    zs_skyline,
+    bitstring_skyline,
+    bbs_skyline,
+    salsa_skyline,
+]
+
+
+@pytest.mark.parametrize("algo", ALGORITHMS)
+class TestAllAlgorithms:
+    def test_matches_oracle_random(self, algo):
+        rng = np.random.default_rng(1)
+        for d in (1, 2, 4, 6):
+            pts = rng.integers(0, 16, (120, d)).astype(float)
+            sky, ids = algo(pts, None, None)
+            assert is_skyline_of(sky, pts)
+            # ids refer to original rows.
+            for point, pid in zip(sky, ids):
+                assert np.array_equal(pts[pid], point)
+
+    def test_empty_input(self, algo):
+        sky, ids = algo(np.empty((0, 3)), None, None)
+        assert sky.shape[0] == 0
+        assert ids.size == 0
+
+    def test_single_point(self, algo):
+        sky, ids = algo(np.array([[4.0, 2.0]]), None, None)
+        assert sky.tolist() == [[4.0, 2.0]]
+
+    def test_duplicates_kept(self, algo):
+        pts = np.array([[2.0, 2.0], [2.0, 2.0], [3.0, 3.0]])
+        sky, _ = algo(pts, None, None)
+        assert sky.shape[0] == 2
+
+    def test_total_order_chain(self, algo):
+        pts = np.array([[3.0, 3.0], [1.0, 1.0], [2.0, 2.0]])
+        sky, ids = algo(pts, None, None)
+        assert sky.tolist() == [[1.0, 1.0]]
+        assert ids.tolist() == [1]
+
+    def test_all_incomparable(self, algo):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        sky, _ = algo(pts, None, None)
+        assert sky.shape[0] == 4
+
+    def test_custom_ids(self, algo):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        sky, ids = algo(pts, np.array([55, 66]), None)
+        assert ids.tolist() == [55]
+
+    def test_counter_populated(self, algo):
+        rng = np.random.default_rng(2)
+        pts = rng.integers(0, 8, (60, 3)).astype(float)
+        counter = OpCounter()
+        algo(pts, None, counter)
+        assert counter.total() > 0
+
+
+class TestRegistry:
+    def test_lookup_by_paper_names(self):
+        assert get_algorithm("SB") is sort_based_skyline
+        assert get_algorithm("sb") is sort_based_skyline
+        assert get_algorithm("ZS") is zs_skyline
+        assert get_algorithm("BNL") is bnl_skyline
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_algorithm("QUICKSKY")
+
+    def test_available_contains_core_names(self):
+        names = available_algorithms()
+        assert {"SB", "ZS", "BNL", "DNC"} <= set(names)
+
+
+class TestBitstringInternals:
+    def test_cell_coordinates_ranges(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.25]])
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        cells = cell_coordinates(pts, 4, lo, hi)
+        assert cells.min() >= 0
+        assert cells.max() <= 3
+        assert cells[0].tolist() == [0, 0]
+        assert cells[1].tolist() == [3, 3]
+
+    def test_splits_parameter(self):
+        rng = np.random.default_rng(3)
+        pts = rng.integers(0, 32, (150, 3)).astype(float)
+        for splits in (2, 3, 8):
+            sky, _ = bitstring_skyline(pts, splits_per_dim=splits)
+            assert is_skyline_of(sky, pts)

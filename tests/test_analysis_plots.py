@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII scatter plot."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_scatter
+from repro.core.exceptions import DatasetError
+
+
+class TestAsciiScatter:
+    def test_contains_markers_and_frame(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((50, 2))
+        text = ascii_scatter(pts, width=30, height=10)
+        assert "*" in text and "." in text
+        assert text.count("|") == 2 * 10
+        assert "skyline" in text
+
+    @staticmethod
+    def body(text):
+        return "".join(
+            line for line in text.splitlines() if line.startswith("|")
+        )
+
+    def test_respects_given_skyline(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        text = ascii_scatter(pts, skyline_indices=[0], width=10, height=5)
+        assert self.body(text).count("*") == 1
+        assert self.body(text).count(".") == 1
+
+    def test_higher_dimensional_projection(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((40, 5))
+        text = ascii_scatter(pts, dims=(2, 4), width=20, height=8)
+        assert "dim 2" in text and "dim 4" in text
+
+    def test_constant_dimension(self):
+        pts = np.array([[0.0, 3.0], [1.0, 3.0], [0.5, 3.0]])
+        text = ascii_scatter(pts, width=10, height=4)
+        assert "*" in text
+
+    def test_single_point(self):
+        text = ascii_scatter(np.array([[1.0, 2.0]]), width=5, height=3)
+        assert self.body(text).count("*") == 1
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            ascii_scatter(np.empty((0, 2)))
+        with pytest.raises(DatasetError):
+            ascii_scatter(np.zeros((3, 2)), dims=(0,))
+        with pytest.raises(DatasetError):
+            ascii_scatter(np.zeros((3, 2)), dims=(0, 5))
+        with pytest.raises(DatasetError):
+            ascii_scatter(np.zeros((3, 2)), width=1)
+
+    def test_frontier_hugs_bottom_left(self):
+        # Anti-diagonal frontier: the staircase should put skyline
+        # markers in the lower-left region rows.
+        rng = np.random.default_rng(2)
+        base = rng.random((200, 2))
+        pts = np.vstack([base + 0.5, np.array([[0.0, 0.0]])])
+        text = ascii_scatter(pts, width=40, height=12)
+        body = [
+            line for line in text.splitlines() if line.startswith("|")
+        ]
+        # The dominating origin point renders in the last (lowest) row.
+        assert "*" in body[-1]

@@ -1,0 +1,114 @@
+"""Unit tests for the per-figure experiment functions (tiny scale).
+
+These guard the CLI `experiment` paths: every function must run with
+overridden (minimal) parameters and produce a well-formed table.  The
+shape assertions live in benchmarks/; here we only check plumbing.
+"""
+
+import pytest
+
+from repro.bench import ablations, experiments
+from repro.bench.harness import BenchScale
+
+TINY = BenchScale(0.02)
+
+
+class TestFigureFunctions:
+    def test_fig7_size_sweep(self):
+        table = experiments.fig7_size_sweep(
+            "independent", scale=TINY, sizes_m=(10,),
+            plans=("Grid+SB", "ZDG+ZS+ZM"), num_groups=4,
+        )
+        assert len(table) == 2
+        assert set(table.column("plan")) == {"Grid+SB", "ZDG+ZS+ZM"}
+
+    def test_fig7_dims_sweep(self):
+        table = experiments.fig7_dims_sweep(
+            "independent", scale=TINY, dims=(2, 3),
+            plans=("ZDG+ZS+ZM",), num_groups=4,
+        )
+        assert table.column("d") == [2, 3]
+
+    def test_fig8_sweeps(self):
+        table = experiments.fig8_merge_size_sweep(
+            "independent", scale=TINY, sizes_m=(20,),
+            plans=("ZDG+ZS+ZM",), num_groups=4,
+        )
+        assert table.rows[0]["merge_cost"] > 0
+        table = experiments.fig8_merge_dims_sweep(
+            "independent", scale=TINY, dims=(3,),
+            plans=("ZDG+ZS+ZM",), num_groups=4,
+        )
+        assert len(table) == 1
+
+    def test_fig9(self):
+        table = experiments.fig9_candidates(
+            "independent", scale=TINY, sizes_m=(20,),
+            plans=("Grid+ZS", "ZDG+ZS"), num_groups=4,
+        )
+        for row in table.rows:
+            assert row["skyline"] <= row["candidates"]
+
+    def test_fig10(self):
+        table = experiments.fig10_partition_count_sweep(
+            scale=TINY, group_counts=(4, 8), plans=("ZDG+ZS+ZM",),
+        )
+        assert table.column("M") == [4, 8]
+
+    def test_fig12(self):
+        table = experiments.fig12_scalability(
+            scale=TINY, sizes_m=(2,), plans=("ZDG+ZS+ZM",),
+        )
+        assert table.rows[0]["total_cost"] >= table.rows[0]["makespan_cost"]
+
+    def test_fig13(self):
+        table = experiments.fig13_sampling(
+            scale=TINY, ratios=(0.02,), plans=("ZDG+ZS+ZM",),
+        )
+        assert table.rows[0]["preprocess_s"] >= 0
+
+    def test_load_balance(self):
+        table = experiments.load_balance_metrics(
+            scale=TINY, plans=("ZDG+ZS",)
+        )
+        assert table.rows[0]["reducer_skew"] >= 1.0
+
+    def test_pruning_analysis(self):
+        table = experiments.pruning_analysis(scale=TINY, num_groups=4)
+        assert len(table) == 3
+
+
+class TestAblationFunctions:
+    def test_prefilter(self):
+        table = ablations.prefilter_ablation(scale=TINY, num_groups=4)
+        assert set(table.column("prefilter")) == {True, False}
+
+    def test_expansion(self):
+        table = ablations.expansion_ablation(
+            scale=TINY, expansions=(1, 2), num_groups=4
+        )
+        assert table.column("delta") == [1, 2]
+
+    def test_bits(self):
+        table = ablations.bits_ablation(scale=TINY, bit_widths=(4, 8))
+        assert table.column("bits") == [4, 8]
+
+    def test_tree_geometry(self):
+        table = ablations.tree_geometry_ablation(
+            scale=TINY, geometries=((8, 4),)
+        )
+        assert table.rows[0]["height"] >= 1
+
+    def test_parallel_merge(self):
+        table = ablations.parallel_merge_ablation(scale=TINY, num_groups=4)
+        assert set(table.column("merge")) == {"ZM", "ZMP"}
+
+    def test_grouping_source(self):
+        table = ablations.grouping_source_ablation(
+            scale=TINY, num_groups=4
+        )
+        assert len(table) == 6
+
+    def test_local_algorithms(self):
+        table = ablations.local_algorithm_ablation(scale=TINY)
+        assert len(table) == 18  # 3 distributions x 6 algorithms

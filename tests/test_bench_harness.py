@@ -1,0 +1,94 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import BenchScale, ResultTable, run_plan_measured
+from repro.data.synthetic import independent
+
+
+class TestBenchScale:
+    def test_size_mapping(self):
+        scale = BenchScale(factor=1.0)
+        assert scale.size(10) == 10_000
+        assert scale.size(110) == 110_000
+
+    def test_scaling_factor(self):
+        assert BenchScale(factor=0.5).size(10) == 5_000
+
+    def test_floor(self):
+        assert BenchScale(factor=0.01).size(2) == 500
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.7")
+        assert BenchScale.from_env().factor == 0.7
+
+    def test_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert BenchScale.from_env().factor == 0.2
+
+    def test_from_env_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "banana")
+        assert BenchScale.from_env().factor == 0.2
+
+
+class TestResultTable:
+    def make(self):
+        table = ResultTable("demo", ["x", "plan", "y"])
+        table.add(x=1, plan="A", y=10)
+        table.add(x=1, plan="B", y=20)
+        table.add(x=2, plan="A", y=30)
+        return table
+
+    def test_add_and_len(self):
+        assert len(self.make()) == 3
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable("demo", ["x"])
+        with pytest.raises(KeyError):
+            table.add(x=1, bogus=2)
+
+    def test_missing_column_defaults_empty(self):
+        table = ResultTable("demo", ["x", "y"])
+        table.add(x=1)
+        assert table.rows[0]["y"] == ""
+
+    def test_column(self):
+        assert self.make().column("y") == [10, 20, 30]
+
+    def test_select(self):
+        sel = self.make().select(plan="A")
+        assert len(sel) == 2
+        assert sel.column("y") == [10, 30]
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "demo" in text
+        assert "plan" in text
+        assert "30" in text
+
+    def test_render_empty_table(self):
+        assert "demo" in ResultTable("demo", ["x"]).render()
+
+    def test_to_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        self.make().to_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "x,plan,y"
+        assert len(lines) == 4
+
+
+class TestRunPlanMeasured:
+    def test_regular_plan(self):
+        report = run_plan_measured(
+            "ZHG+ZS", independent(400, 3, seed=0), num_groups=4,
+            num_workers=2,
+        )
+        assert report.skyline_size > 0
+
+    def test_gpmrs_alias(self):
+        report = run_plan_measured(
+            "MR-GPMRS", independent(400, 3, seed=0), num_groups=4,
+            num_workers=2,
+        )
+        assert report.plan.label == "MR-GPMRS"
+        assert report.skyline_size > 0

@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.plan == "ZDG+ZS+ZM"
+        assert args.num_points == 20_000
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_every_registered_experiment_is_parseable(self):
+        for name in EXPERIMENTS:
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        code = main(
+            ["run", "-n", "400", "-d", "3", "--groups", "4",
+             "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skyline" in out
+        assert "total_s" in out
+
+    def test_run_gpmrs_plan(self, capsys):
+        code = main(
+            ["run", "--plan", "MR-GPMRS", "-n", "400", "-d", "3",
+             "--groups", "4", "--workers", "2"]
+        )
+        assert code == 0
+        assert "MR-GPMRS" in capsys.readouterr().out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "fig13" in out
+
+    def test_experiment_with_csv_output(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+        code = main(
+            ["experiment", "pruning", "--csv-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "pruning.csv").exists()
+        out = capsys.readouterr().out
+        assert "Pruning analysis" in out
+
+    def test_analyze_command(self, capsys):
+        code = main(["analyze", "-n", "500", "-d", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended plan" in out
+        assert "skyline_fraction" in out
+
+    def test_analyze_csv_input(self, capsys, tmp_path):
+        from repro.data.io import save_csv
+        from repro.data.synthetic import independent
+
+        path = str(tmp_path / "d.csv")
+        save_csv(independent(300, 3, seed=0), path)
+        code = main(["analyze", "--csv", path])
+        assert code == 0
+        assert "recommended plan" in capsys.readouterr().out
+
+    def test_estimate_command(self, capsys):
+        code = main(["estimate", "-n", "2000", "-d", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "independence formula" in out
+        assert "capture-recapture" in out

@@ -1,0 +1,122 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import DatasetError
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = Dataset([[1.0, 2.0], [3.0, 4.0]], name="t")
+        assert ds.size == 2
+        assert ds.dimensions == 2
+        assert len(ds) == 2
+        assert ds.name == "t"
+        assert ds.ids.tolist() == [0, 1]
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(DatasetError):
+            Dataset([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.empty((0, 3)))
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.empty((3, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DatasetError):
+            Dataset([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DatasetError):
+            Dataset([[1.0, float("inf")]])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(DatasetError):
+            Dataset([[1.0], [2.0]], ids=[5, 5])
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(DatasetError):
+            Dataset([[1.0], [2.0]], ids=[1, 2, 3])
+
+    def test_points_are_immutable(self):
+        ds = Dataset([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            ds.points[0, 0] = 9.0
+
+    def test_input_array_is_copied(self):
+        src = np.array([[1.0, 2.0]])
+        ds = Dataset(src)
+        src[0, 0] = 99.0
+        assert ds.points[0, 0] == 1.0
+
+
+class TestOperations:
+    def test_iteration_yields_id_point_pairs(self):
+        ds = Dataset([[1.0], [2.0]], ids=[10, 20])
+        pairs = list(ds)
+        assert pairs[0][0] == 10
+        assert pairs[1][1][0] == 2.0
+
+    def test_bounds(self):
+        ds = Dataset([[1.0, 5.0], [3.0, 2.0]])
+        lo, hi = ds.bounds()
+        assert lo.tolist() == [1.0, 2.0]
+        assert hi.tolist() == [3.0, 5.0]
+
+    def test_select_preserves_ids(self):
+        ds = Dataset([[1.0], [2.0], [3.0]], ids=[7, 8, 9])
+        sub = ds.select([2, 0])
+        assert sub.ids.tolist() == [9, 7]
+        assert sub.points[:, 0].tolist() == [3.0, 1.0]
+
+    def test_select_empty_raises(self):
+        ds = Dataset([[1.0]])
+        with pytest.raises(DatasetError):
+            ds.select([])
+
+    def test_select_by_mask(self):
+        ds = Dataset([[1.0], [2.0], [3.0]])
+        sub = ds.select_by_mask(np.array([True, False, True]))
+        assert sub.size == 2
+
+    def test_select_by_mask_validates_shape(self):
+        ds = Dataset([[1.0], [2.0]])
+        with pytest.raises(DatasetError):
+            ds.select_by_mask(np.array([True]))
+
+    def test_concat_keeps_ids(self):
+        a = Dataset([[1.0]], ids=[0])
+        b = Dataset([[2.0]], ids=[1])
+        both = Dataset.concat([a, b])
+        assert both.ids.tolist() == [0, 1]
+
+    def test_concat_dimension_mismatch(self):
+        a = Dataset([[1.0]])
+        b = Dataset([[1.0, 2.0]])
+        with pytest.raises(DatasetError):
+            Dataset.concat([a, b])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(DatasetError):
+            Dataset.concat([])
+
+    def test_normalized_unit_range(self):
+        ds = Dataset([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        norm = ds.normalized()
+        assert norm.points.min() == 0.0
+        assert norm.points.max() == 1.0
+
+    def test_normalized_constant_dimension(self):
+        ds = Dataset([[1.0, 5.0], [2.0, 5.0]])
+        norm = ds.normalized()
+        assert np.all(norm.points[:, 1] == 0.0)
+
+    def test_repr_mentions_shape(self):
+        ds = Dataset([[1.0, 2.0]], name="x")
+        assert "n=1" in repr(ds) and "d=2" in repr(ds)

@@ -1,0 +1,129 @@
+"""Unit tests for dominance primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.point import (
+    DominanceRelation,
+    any_dominates,
+    block_dominates,
+    compare,
+    dominance_counts,
+    dominated_mask,
+    dominates,
+    dominates_block,
+    dominates_or_equal,
+    strictly_dominates,
+)
+
+
+class TestDominates:
+    def test_strictly_smaller_everywhere(self):
+        assert dominates([1, 1], [2, 2])
+
+    def test_smaller_in_one_equal_in_other(self):
+        assert dominates([1, 2], [1, 3])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 2], [1, 2])
+
+    def test_incomparable_points(self):
+        assert not dominates([1, 3], [2, 1])
+        assert not dominates([2, 1], [1, 3])
+
+    def test_dominance_is_antisymmetric(self):
+        assert dominates([0, 0], [1, 1])
+        assert not dominates([1, 1], [0, 0])
+
+    def test_single_dimension(self):
+        assert dominates([1], [2])
+        assert not dominates([2], [1])
+        assert not dominates([1], [1])
+
+    def test_works_with_numpy_inputs(self):
+        assert dominates(np.array([1.0, 1.0]), np.array([2.0, 2.0]))
+
+
+class TestStrictAndWeak:
+    def test_strict_requires_all_dimensions(self):
+        assert strictly_dominates([1, 1], [2, 2])
+        assert not strictly_dominates([1, 2], [2, 2])
+
+    def test_weak_allows_equality(self):
+        assert dominates_or_equal([1, 2], [1, 2])
+        assert dominates_or_equal([1, 1], [1, 2])
+        assert not dominates_or_equal([2, 1], [1, 2])
+
+
+class TestCompare:
+    def test_all_four_outcomes(self):
+        assert compare([1, 1], [2, 2]) is DominanceRelation.DOMINATES
+        assert compare([2, 2], [1, 1]) is DominanceRelation.DOMINATED
+        assert compare([1, 2], [2, 1]) is DominanceRelation.INCOMPARABLE
+        assert compare([1, 2], [1, 2]) is DominanceRelation.EQUAL
+
+    def test_compare_is_consistent_with_dominates(self, rng=None):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            p, q = rng.integers(0, 4, (2, 3))
+            rel = compare(p, q)
+            assert (rel is DominanceRelation.DOMINATES) == dominates(p, q)
+            assert (rel is DominanceRelation.DOMINATED) == dominates(q, p)
+
+
+class TestBlockHelpers:
+    def test_dominates_block_matches_scalar(self):
+        p = np.array([1.0, 1.0])
+        block = np.array([[2.0, 2.0], [1.0, 1.0], [0.0, 3.0], [1.0, 2.0]])
+        expected = [dominates(p, row) for row in block]
+        assert dominates_block(p, block).tolist() == expected
+
+    def test_block_dominates_matches_scalar(self):
+        p = np.array([1.0, 1.0])
+        block = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 0.0], [0.5, 1.0]])
+        expected = [dominates(row, p) for row in block]
+        assert block_dominates(block, p).tolist() == expected
+
+    def test_any_dominates_empty_block(self):
+        assert not any_dominates(np.empty((0, 2)), [1.0, 1.0])
+
+    def test_any_dominates(self):
+        block = np.array([[3.0, 3.0], [0.0, 0.0]])
+        assert any_dominates(block, [1.0, 1.0])
+
+    def test_dominated_mask_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        points = rng.integers(0, 5, (40, 3)).astype(float)
+        dominators = rng.integers(0, 5, (15, 3)).astype(float)
+        mask = dominated_mask(points, dominators)
+        for i in range(points.shape[0]):
+            expected = any(dominates(s, points[i]) for s in dominators)
+            assert mask[i] == expected
+
+    def test_dominated_mask_chunking_consistent(self):
+        rng = np.random.default_rng(13)
+        points = rng.integers(0, 5, (100, 2)).astype(float)
+        dominators = rng.integers(0, 5, (9, 2)).astype(float)
+        a = dominated_mask(points, dominators, chunk=7)
+        b = dominated_mask(points, dominators, chunk=10_000)
+        assert np.array_equal(a, b)
+
+    def test_dominated_mask_empty_inputs(self):
+        assert dominated_mask(np.empty((0, 2)), np.ones((3, 2))).size == 0
+        out = dominated_mask(np.ones((3, 2)), np.empty((0, 2)))
+        assert not out.any()
+
+
+class TestDominanceCounts:
+    def test_simple_chain(self):
+        # p0 dominates p1 dominates p2
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        assert dominance_counts(points).tolist() == [0, 1, 2]
+
+    def test_incomparable_set(self):
+        points = np.array([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0]])
+        assert dominance_counts(points).tolist() == [0, 0, 0]
+
+    def test_duplicates_do_not_count(self):
+        points = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert dominance_counts(points).tolist() == [0, 0]

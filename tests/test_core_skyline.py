@@ -1,0 +1,78 @@
+"""Unit tests for the skyline oracle (everything else is verified
+against it, so it gets its own brute-force verification here)."""
+
+import numpy as np
+
+from repro.core.point import dominates
+from repro.core.skyline import (
+    is_skyline_of,
+    skyline_indices_oracle,
+    skyline_oracle,
+)
+
+
+def brute_force_skyline_indices(points: np.ndarray) -> list:
+    out = []
+    for i in range(points.shape[0]):
+        if not any(
+            dominates(points[j], points[i])
+            for j in range(points.shape[0])
+            if j != i
+        ):
+            out.append(i)
+    return out
+
+
+class TestOracle:
+    def test_matches_brute_force_on_random_inputs(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            pts = rng.integers(0, 6, (30, 3)).astype(float)
+            assert (
+                skyline_indices_oracle(pts).tolist()
+                == brute_force_skyline_indices(pts)
+            )
+
+    def test_empty_input(self):
+        assert skyline_indices_oracle(np.empty((0, 2))).size == 0
+
+    def test_single_point(self):
+        assert skyline_indices_oracle(np.array([[1.0, 2.0]])).tolist() == [0]
+
+    def test_hotel_example(self):
+        # Figure 1(a) style: p5 dominates p6.
+        pts = np.array(
+            [[1.0, 9.0], [4.0, 5.0], [2.0, 7.0], [5.0, 3.0], [3.0, 4.0],
+             [6.0, 6.0]]
+        )
+        idx = skyline_indices_oracle(pts).tolist()
+        assert 5 not in idx  # dominated by [3, 4]
+        assert 0 in idx and 4 in idx
+
+    def test_duplicates_all_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert skyline_indices_oracle(pts).tolist() == [0, 1]
+
+    def test_totally_ordered_chain(self):
+        pts = np.array([[3.0, 3.0], [1.0, 1.0], [2.0, 2.0]])
+        assert skyline_indices_oracle(pts).tolist() == [1]
+
+    def test_anti_diagonal_all_skyline(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        assert skyline_indices_oracle(pts).tolist() == [0, 1, 2, 3]
+
+
+class TestIsSkylineOf:
+    def test_accepts_permutation(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [5.0, 5.0]])
+        candidate = np.array([[1.0, 2.0], [0.0, 3.0]])
+        assert is_skyline_of(candidate, pts)
+
+    def test_rejects_wrong_size(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [5.0, 5.0]])
+        assert not is_skyline_of(pts[:1], pts)
+
+    def test_rejects_wrong_points(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [5.0, 5.0]])
+        candidate = np.array([[0.0, 3.0], [5.0, 5.0]])
+        assert not is_skyline_of(candidate, pts)

@@ -1,0 +1,186 @@
+"""Unit tests for synthetic and real-world-simulator workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DatasetError
+from repro.core.skyline import skyline_indices_oracle
+from repro.data.realworld import (
+    dbpedia_lda_like,
+    flickr_gist_like,
+    hou_like,
+    nba_like,
+    nuswide_like,
+)
+from repro.data.scaling import scale_up
+from repro.data.synthetic import (
+    anticorrelated,
+    correlated,
+    generate,
+    independent,
+)
+
+
+class TestSyntheticBasics:
+    @pytest.mark.parametrize(
+        "gen", [independent, correlated, anticorrelated]
+    )
+    def test_shape_and_range(self, gen):
+        ds = gen(500, 6, seed=1)
+        assert ds.size == 500
+        assert ds.dimensions == 6
+        assert ds.points.min() >= 0.0
+        assert ds.points.max() <= 1.0
+
+    @pytest.mark.parametrize(
+        "gen", [independent, correlated, anticorrelated]
+    )
+    def test_deterministic_given_seed(self, gen):
+        a = gen(100, 3, seed=42)
+        b = gen(100, 3, seed=42)
+        assert np.array_equal(a.points, b.points)
+
+    @pytest.mark.parametrize(
+        "gen", [independent, correlated, anticorrelated]
+    )
+    def test_different_seeds_differ(self, gen):
+        a = gen(100, 3, seed=1)
+        b = gen(100, 3, seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DatasetError):
+            independent(0, 3)
+        with pytest.raises(DatasetError):
+            independent(10, 0)
+
+    def test_generate_dispatch(self):
+        assert generate("independent", 10, 2).size == 10
+        assert generate("anti-correlated", 10, 2).size == 10
+        with pytest.raises(DatasetError):
+            generate("zipf", 10, 2)
+
+
+class TestDistributionShapes:
+    """The skyline-size ordering that defines the three regimes:
+    correlated << independent << anti-correlated."""
+
+    def test_skyline_size_ordering(self):
+        n, d = 3000, 5
+        sizes = {}
+        for name, gen in [
+            ("corr", correlated),
+            ("indep", independent),
+            ("anti", anticorrelated),
+        ]:
+            ds = gen(n, d, seed=7)
+            sizes[name] = len(skyline_indices_oracle(ds.points))
+        assert sizes["corr"] < sizes["indep"] < sizes["anti"]
+
+    def test_correlated_dimensions_correlate(self):
+        ds = correlated(3000, 2, seed=3)
+        corr = np.corrcoef(ds.points[:, 0], ds.points[:, 1])[0, 1]
+        assert corr > 0.5
+
+    def test_anticorrelated_dimensions_anticorrelate(self):
+        ds = anticorrelated(3000, 2, seed=3)
+        corr = np.corrcoef(ds.points[:, 0], ds.points[:, 1])[0, 1]
+        assert corr < -0.5
+
+
+class TestRealWorldSimulators:
+    def test_nba_like_shape(self):
+        ds = nba_like(350, seed=1)
+        assert ds.size == 350
+        assert ds.dimensions == 7
+
+    def test_nba_like_anticorrelated_structure(self):
+        # Specialist trade-offs: average pairwise correlation negative.
+        ds = nba_like(2000, seed=2)
+        corr = np.corrcoef(ds.points.T)
+        off_diag = corr[~np.eye(7, dtype=bool)]
+        assert off_diag.mean() < 0.1
+
+    def test_hou_like_spending(self):
+        ds = hou_like(1000, seed=1)
+        assert ds.dimensions == 6
+        assert (ds.points >= 0).all()
+        # Varying totals: records must NOT all sum to the same value
+        # (raw fractions would make every record a skyline point).
+        sums = ds.points.sum(axis=1)
+        assert sums.std() > 0.1
+        # Not everything is a skyline point.
+        from repro.core.skyline import skyline_indices_oracle
+
+        assert len(skyline_indices_oracle(ds.points)) < ds.size
+
+    def test_nuswide_like_dimensionality(self):
+        ds = nuswide_like(200, seed=1)
+        assert ds.dimensions == 225
+        assert ds.points.min() >= 0.0
+
+    def test_gist_like_dimensionality(self):
+        ds = flickr_gist_like(100, seed=1)
+        assert ds.dimensions == 512
+
+    def test_lda_like_sparse_simplex(self):
+        ds = dbpedia_lda_like(100, seed=1, topics_per_doc=8)
+        assert ds.dimensions == 250
+        # Most coordinates are the "inactive" value 1.0.
+        inactive = (ds.points == 1.0).mean()
+        assert inactive > 0.9
+
+    def test_lda_topics_validation(self):
+        with pytest.raises(DatasetError):
+            dbpedia_lda_like(10, topics_per_doc=0)
+        with pytest.raises(DatasetError):
+            dbpedia_lda_like(10, dimensions=5, topics_per_doc=6)
+
+    @pytest.mark.parametrize(
+        "gen", [nba_like, hou_like, nuswide_like, flickr_gist_like,
+                dbpedia_lda_like]
+    )
+    def test_deterministic(self, gen):
+        assert np.array_equal(
+            gen(50, seed=9).points, gen(50, seed=9).points
+        )
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(DatasetError):
+            nba_like(0)
+
+
+class TestScaleUp:
+    def test_target_size(self):
+        ds = independent(200, 4, seed=1)
+        big = scale_up(ds, 5.0, seed=2)
+        assert big.size == 1000
+
+    def test_original_rows_preserved(self):
+        ds = independent(100, 3, seed=1)
+        big = scale_up(ds, 3.0, seed=2)
+        assert np.array_equal(big.points[:100], ds.points)
+
+    def test_support_not_exceeded(self):
+        ds = independent(300, 4, seed=1)
+        big = scale_up(ds, 10.0, seed=2)
+        lo, hi = ds.bounds()
+        assert (big.points >= lo).all()
+        assert (big.points <= hi).all()
+
+    def test_factor_one_is_copy(self):
+        ds = independent(100, 3, seed=1)
+        same = scale_up(ds, 1.0)
+        assert same.size == 100
+
+    def test_rejects_shrinking(self):
+        ds = independent(100, 3, seed=1)
+        with pytest.raises(DatasetError):
+            scale_up(ds, 0.5)
+
+    def test_distribution_roughly_preserved(self):
+        ds = anticorrelated(1000, 2, seed=3)
+        big = scale_up(ds, 5.0, seed=4)
+        corr_small = np.corrcoef(ds.points.T)[0, 1]
+        corr_big = np.corrcoef(big.points.T)[0, 1]
+        assert abs(corr_small - corr_big) < 0.1

@@ -1,0 +1,87 @@
+"""Unit tests for CSV dataset import/export."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import DatasetError
+from repro.data.io import load_csv, save_csv
+
+
+@pytest.fixture
+def dataset() -> Dataset:
+    rng = np.random.default_rng(0)
+    return Dataset(rng.random((20, 3)), ids=np.arange(100, 120), name="x")
+
+
+class TestRoundTrip:
+    def test_with_ids(self, dataset, tmp_path):
+        path = str(tmp_path / "data.csv")
+        save_csv(dataset, path)
+        back = load_csv(path)
+        assert np.array_equal(back.points, dataset.points)
+        assert np.array_equal(back.ids, dataset.ids)
+
+    def test_without_ids(self, dataset, tmp_path):
+        path = str(tmp_path / "data.csv")
+        save_csv(dataset, path, include_ids=False)
+        back = load_csv(path)
+        assert np.array_equal(back.points, dataset.points)
+        assert back.ids.tolist() == list(range(20))
+
+    def test_custom_column_names(self, dataset, tmp_path):
+        path = str(tmp_path / "data.csv")
+        save_csv(dataset, path, column_names=["a", "b", "c"])
+        header = open(path).readline().strip()
+        assert header == "id,a,b,c"
+
+    def test_exact_float_precision(self, tmp_path):
+        values = np.array([[0.1 + 0.2, 1e-17, 123456789.123456]])
+        ds = Dataset(values)
+        path = str(tmp_path / "data.csv")
+        save_csv(ds, path)
+        back = load_csv(path)
+        assert np.array_equal(back.points, values)
+
+
+class TestValidation:
+    def test_wrong_column_name_count(self, dataset, tmp_path):
+        with pytest.raises(DatasetError):
+            save_csv(dataset, str(tmp_path / "x.csv"), column_names=["a"])
+
+    def test_reserved_id_name(self, dataset, tmp_path):
+        with pytest.raises(DatasetError):
+            save_csv(
+                dataset, str(tmp_path / "x.csv"),
+                column_names=["id", "b", "c"],
+            )
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_csv(str(path))
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DatasetError):
+            load_csv(str(path))
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1.0,banana\n")
+        with pytest.raises(DatasetError) as err:
+            load_csv(str(path))
+        assert "bad.csv:2" in str(err.value)
+
+    def test_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(DatasetError):
+            load_csv(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("a,b\n1,2\n\n3,4\n")
+        assert load_csv(str(path)).size == 2

@@ -1,0 +1,87 @@
+"""Unit tests for why-not explanations and dataset orientation."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import DatasetError
+from repro.core.point import dominates
+from repro.core.skyline import skyline_indices_oracle
+from repro.extensions import why_not
+
+
+class TestWhyNot:
+    def test_skyline_member(self):
+        data = np.array([[0.0, 3.0], [3.0, 0.0], [2.0, 2.0]])
+        explanation = why_not(np.array([0.0, 3.0]), data)
+        assert explanation.is_skyline_member
+        assert explanation.num_dominators == 0
+        assert explanation.cheapest_fix() is None
+
+    def test_dominated_point_lists_dominators(self):
+        data = np.array([[1.0, 1.0], [0.0, 5.0], [4.0, 4.0]])
+        explanation = why_not(np.array([4.0, 4.0]), data, np.array([7, 8, 9]))
+        assert not explanation.is_skyline_member
+        assert explanation.dominator_ids.tolist() == [7]
+
+    def test_self_row_not_its_own_dominator(self):
+        data = np.array([[2.0, 2.0], [2.0, 2.0]])
+        explanation = why_not(np.array([2.0, 2.0]), data)
+        assert explanation.is_skyline_member
+
+    def test_fixes_escape_all_dominators(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 10, (80, 3)).astype(float)
+        sky = set(skyline_indices_oracle(data).tolist())
+        for i in range(80):
+            if i in sky:
+                continue
+            explanation = why_not(data[i], data)
+            dim, reduction = explanation.cheapest_fix()
+            improved = data[i].copy()
+            improved[dim] -= reduction + 1e-9
+            # No former dominator dominates the improved point.
+            for dominator in explanation.dominator_points:
+                assert not dominates(dominator, improved)
+
+    def test_what_if_query_for_nonmember_point(self):
+        data = np.array([[1.0, 1.0]])
+        explanation = why_not(np.array([0.5, 0.5]), data)
+        assert explanation.is_skyline_member
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DatasetError):
+            why_not(np.array([1.0]), np.zeros((3, 2)))
+
+
+class TestOrientation:
+    def test_max_columns_flip(self):
+        ds = Dataset([[1.0, 10.0], [3.0, 30.0]])
+        flipped = ds.oriented(["min", "max"])
+        # Max column: 30 is best -> becomes 0; 10 -> 20.
+        assert flipped.points[:, 1].tolist() == [20.0, 0.0]
+        # Min column untouched.
+        assert flipped.points[:, 0].tolist() == [1.0, 3.0]
+
+    def test_skyline_semantics_after_orientation(self):
+        # Cheap+good beats expensive+bad once rating is flipped.
+        ds = Dataset([[100.0, 4.8], [200.0, 3.0]])  # (price, rating)
+        flipped = ds.oriented(["min", "max"])
+        sky = skyline_indices_oracle(flipped.points)
+        assert sky.tolist() == [0]
+
+    def test_all_min_is_identity(self):
+        ds = Dataset([[1.0, 2.0], [3.0, 4.0]])
+        same = ds.oriented(["min", "min"])
+        assert np.array_equal(same.points, ds.points)
+
+    def test_ids_preserved(self):
+        ds = Dataset([[1.0]], ids=[42])
+        assert ds.oriented(["max"]).ids.tolist() == [42]
+
+    def test_validation(self):
+        ds = Dataset([[1.0, 2.0]])
+        with pytest.raises(DatasetError):
+            ds.oriented(["min"])
+        with pytest.raises(DatasetError):
+            ds.oriented(["min", "sideways"])

@@ -1,0 +1,204 @@
+"""Unit tests for the skyline query extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DatasetError
+from repro.core.point import dominates
+from repro.core.skyline import is_skyline_of, skyline_indices_oracle
+from repro.extensions import (
+    dominance_scores,
+    k_dominant_skyline,
+    k_dominates,
+    rank_skyline,
+    skycube,
+    subspace_skyline,
+    top_k_skyline,
+)
+
+
+class TestKDominates:
+    def test_full_k_is_regular_dominance(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            p, q = rng.integers(0, 4, (2, 4)).astype(float)
+            assert k_dominates(p, q, 4) == dominates(p, q)
+
+    def test_partial_k(self):
+        p = np.array([1.0, 1.0, 9.0])
+        q = np.array([2.0, 2.0, 0.0])
+        assert not k_dominates(p, q, 3)
+        assert k_dominates(p, q, 2)
+        assert k_dominates(q, p, 1)
+
+    def test_equal_points_never_dominate(self):
+        p = np.array([1.0, 2.0])
+        assert not k_dominates(p, p, 1)
+
+    def test_k_validation(self):
+        with pytest.raises(DatasetError):
+            k_dominates(np.zeros(3), np.ones(3), 0)
+        with pytest.raises(DatasetError):
+            k_dominates(np.zeros(3), np.ones(3), 4)
+
+
+class TestKDominantSkyline:
+    def brute_force(self, pts, k):
+        keep = []
+        for i in range(pts.shape[0]):
+            if not any(
+                k_dominates(pts[j], pts[i], k)
+                for j in range(pts.shape[0])
+                if j != i
+            ):
+                keep.append(i)
+        return keep
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(2)
+        pts = rng.integers(0, 5, (60, 4)).astype(float)
+        for k in (2, 3, 4):
+            got_pts, got_ids = k_dominant_skyline(pts, k)
+            assert got_ids.tolist() == self.brute_force(pts, k)
+
+    def test_k_equals_d_is_regular_skyline(self):
+        rng = np.random.default_rng(3)
+        pts = rng.integers(0, 8, (100, 3)).astype(float)
+        got, _ = k_dominant_skyline(pts, 3)
+        assert is_skyline_of(got, pts)
+
+    def test_shrinks_as_k_decreases(self):
+        rng = np.random.default_rng(4)
+        pts = rng.integers(0, 16, (150, 5)).astype(float)
+        sizes = [
+            k_dominant_skyline(pts, k)[0].shape[0] for k in (5, 4, 3)
+        ]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_empty_input(self):
+        got, ids = k_dominant_skyline(np.empty((0, 3)), 2)
+        assert got.shape[0] == 0
+
+    def test_ids_preserved(self):
+        pts = np.array([[1.0, 1.0], [5.0, 5.0]])
+        got, ids = k_dominant_skyline(pts, 2, ids=np.array([42, 43]))
+        assert ids.tolist() == [42]
+
+
+class TestRanking:
+    def setup_data(self):
+        rng = np.random.default_rng(5)
+        pts = rng.random((200, 3)) * 16
+        idx = skyline_indices_oracle(pts)
+        assert len(idx) >= 5  # continuous draws give a rich skyline
+        return pts, pts[idx], idx.astype(np.int64)
+
+    def test_dominance_scores(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [0.0, 9.0]])
+        # [0,0] dominates all three others ([0,9] included: equal in one
+        # dimension, strictly better in the other).
+        scores = dominance_scores(data[:1], data)
+        assert scores.tolist() == [3]
+
+    def test_rank_by_dominance_descending(self):
+        pts, sky, ids = self.setup_data()
+        _, _, scores = rank_skyline(sky, ids, pts, method="dominance")
+        assert np.all(np.diff(scores) <= 0)
+
+    def test_rank_by_sum_ascending(self):
+        pts, sky, ids = self.setup_data()
+        ranked, _, scores = rank_skyline(sky, ids, method="sum")
+        assert np.all(np.diff(scores) >= 0)
+        assert np.allclose(ranked.sum(axis=1), scores)
+
+    def test_rank_weighted(self):
+        pts, sky, ids = self.setup_data()
+        _, _, scores = rank_skyline(
+            sky, ids, method="weighted", weights=[1.0, 0.0, 0.0]
+        )
+        assert np.all(np.diff(scores) >= 0)
+
+    def test_rank_validation(self):
+        pts, sky, ids = self.setup_data()
+        with pytest.raises(DatasetError):
+            rank_skyline(sky, ids, method="dominance")
+        with pytest.raises(DatasetError):
+            rank_skyline(sky, ids, method="weighted")
+        with pytest.raises(DatasetError):
+            rank_skyline(sky, ids, method="nope")
+        with pytest.raises(DatasetError):
+            rank_skyline(sky, ids[:1], method="sum")
+
+    def test_top_k_coverage_greedy(self):
+        pts, sky, ids = self.setup_data()
+        chosen, chosen_ids = top_k_skyline(sky, ids, pts, 3)
+        assert chosen.shape[0] == 3
+        # Chosen ids are skyline ids.
+        assert set(chosen_ids.tolist()) <= set(ids.tolist())
+
+    def test_top_k_caps_at_skyline_size(self):
+        pts = np.array([[0.0, 1.0], [1.0, 0.0], [5.0, 5.0]])
+        idx = skyline_indices_oracle(pts)
+        chosen, _ = top_k_skyline(pts[idx], idx, pts, 99)
+        assert chosen.shape[0] == 2
+
+    def test_top_k_validation(self):
+        pts = np.array([[0.0, 1.0]])
+        with pytest.raises(DatasetError):
+            top_k_skyline(pts, np.array([0]), pts, 0)
+
+
+class TestSubspace:
+    def test_subspace_matches_oracle_on_projection(self):
+        rng = np.random.default_rng(6)
+        pts = rng.integers(0, 8, (80, 4)).astype(float)
+        got, ids = subspace_skyline(pts, [1, 3])
+        expected = skyline_indices_oracle(pts[:, [1, 3]])
+        assert ids.tolist() == expected.tolist()
+        # Full-width rows come back.
+        assert got.shape[1] == 4
+
+    def test_full_space_equals_regular_skyline(self):
+        rng = np.random.default_rng(7)
+        pts = rng.integers(0, 8, (80, 3)).astype(float)
+        got, _ = subspace_skyline(pts, [0, 1, 2])
+        assert is_skyline_of(got, pts)
+
+    def test_validation(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(DatasetError):
+            subspace_skyline(pts, [])
+        with pytest.raises(DatasetError):
+            subspace_skyline(pts, [0, 0])
+        with pytest.raises(DatasetError):
+            subspace_skyline(pts, [5])
+
+    def test_skycube_enumerates_subsets(self):
+        rng = np.random.default_rng(8)
+        pts = rng.integers(0, 8, (40, 3)).astype(float)
+        cube = skycube(pts)
+        assert len(cube) == 7  # 2^3 - 1 cuboids
+        assert (0,) in cube and (0, 1, 2) in cube
+
+    def test_skycube_size_limit(self):
+        rng = np.random.default_rng(9)
+        pts = rng.integers(0, 8, (40, 4)).astype(float)
+        cube = skycube(pts, max_subspace_size=2)
+        assert all(len(dims) <= 2 for dims in cube)
+        assert len(cube) == 4 + 6
+
+    def test_skycube_containment_property(self):
+        # Any full-space skyline member is in some subspace skyline
+        # union is not generally true, but single-dimension minima are
+        # always subspace skyline members — check that instead.
+        rng = np.random.default_rng(10)
+        pts = rng.random((50, 3))
+        cube = skycube(pts, max_subspace_size=1)
+        for dim in range(3):
+            best = int(np.argmin(pts[:, dim]))
+            assert best in cube[(dim,)].tolist()
+
+    def test_skycube_validation(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(DatasetError):
+            skycube(pts, max_subspace_size=0)

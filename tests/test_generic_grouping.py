@@ -1,0 +1,92 @@
+"""Unit and integration tests for generalized dominance grouping."""
+
+import numpy as np
+import pytest
+
+from repro import run_plan
+from repro.core.exceptions import ConfigurationError
+from repro.core.skyline import is_skyline_of
+from repro.data.synthetic import anticorrelated, independent
+from repro.partitioning import get_partitioner, reservoir_sample
+from repro.partitioning.generic_grouping import (
+    GroupedPartitioner,
+    GroupedRule,
+)
+from repro.partitioning.random_part import RandomRule
+from repro.zorder.encoding import quantize_dataset
+
+
+def fitted(base="grid", n=2000, num_groups=8, seed=0):
+    ds = independent(n, 4, seed=seed)
+    snapped, codec = quantize_dataset(ds, bits_per_dim=8)
+    sample = reservoir_sample(snapped, ratio=0.1, seed=seed)
+    rule = GroupedPartitioner(base).fit(sample, codec, num_groups)
+    return rule, snapped, codec
+
+
+class TestGroupedRule:
+    def test_wraps_base_assignment(self):
+        base = RandomRule(4)
+        rule = GroupedRule(base, [0, 0, 1, 1])
+        ids = np.arange(8)
+        gids = rule.assign_groups(np.zeros((8, 2)), ids)
+        assert gids.tolist() == [0, 0, 1, 1, 0, 0, 1, 1]
+        assert rule.num_groups == 2
+
+    def test_group_map_validation(self):
+        base = RandomRule(4)
+        with pytest.raises(ConfigurationError):
+            GroupedRule(base, [0, 1])
+        with pytest.raises(ConfigurationError):
+            GroupedRule(base, [0, 1, 2, -1])
+
+    def test_describe(self):
+        rule, _, _ = fitted()
+        info = rule.describe()
+        assert info["base"] == "GridRule"
+        assert info["num_partitions"] > info["num_groups"]
+
+
+class TestGroupedPartitioner:
+    def test_registry_names(self):
+        assert get_partitioner("grid-grouped") is not None
+        assert get_partitioner("angle-grouped") is not None
+
+    def test_expansion_validation(self):
+        with pytest.raises(ConfigurationError):
+            GroupedPartitioner("grid", expansion=0)
+
+    def test_groups_fewer_than_partitions(self):
+        rule, snapped, _ = fitted()
+        assert rule.num_groups < rule.base.num_groups
+
+    def test_every_point_routed(self):
+        rule, snapped, _ = fitted()
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert (gids >= 0).all()
+        assert (gids < rule.num_groups).all()
+
+    def test_angle_base(self):
+        rule, snapped, _ = fitted(base="angle")
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert (gids >= 0).all()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "plan", ["Grid-Grouped+ZS+ZM", "AngleG+ZS+ZM"]
+    )
+    @pytest.mark.parametrize("gen", [independent, anticorrelated])
+    def test_exact(self, plan, gen):
+        ds = gen(1500, 4, seed=3)
+        snapped, _ = quantize_dataset(ds, bits_per_dim=10)
+        report = run_plan(
+            plan, ds, num_groups=8, num_workers=4, bits_per_dim=10, seed=0
+        )
+        assert is_skyline_of(report.skyline.points, snapped.points)
+
+    def test_prefilter_active_for_grouped_variants(self):
+        from repro.pipeline.plans import parse_plan
+
+        assert parse_plan("GridG+ZS").prefilter is True
+        assert parse_plan("Grid+ZS").prefilter is False

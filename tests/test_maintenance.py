@@ -1,0 +1,147 @@
+"""Unit and randomized tests for incremental skyline maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DatasetError
+from repro.maintenance import SkylineMaintainer
+from repro.zorder.encoding import ZGridCodec
+
+
+@pytest.fixture
+def codec() -> ZGridCodec:
+    return ZGridCodec.grid_identity(3, bits_per_dim=5)
+
+
+def fresh(codec, rng, n=60):
+    m = SkylineMaintainer(codec)
+    pts = rng.integers(0, 32, (n, 3)).astype(float)
+    m.insert_block(pts, np.arange(n))
+    return m, pts
+
+
+class TestInserts:
+    def test_empty_maintainer(self, codec):
+        m = SkylineMaintainer(codec)
+        assert m.size == 0
+        assert m.skyline_size == 0
+        m.verify()
+
+    def test_single_insert(self, codec):
+        m = SkylineMaintainer(codec)
+        m.insert([1.0, 2.0, 3.0], 7)
+        points, ids = m.skyline()
+        assert ids.tolist() == [7]
+        m.verify()
+
+    def test_batch_insert_matches_oracle(self, codec):
+        rng = np.random.default_rng(1)
+        m, _ = fresh(codec, rng)
+        m.verify()
+
+    def test_incremental_batches_match_oracle(self, codec):
+        rng = np.random.default_rng(2)
+        m = SkylineMaintainer(codec)
+        next_id = 0
+        for _ in range(6):
+            n = int(rng.integers(5, 40))
+            pts = rng.integers(0, 32, (n, 3)).astype(float)
+            m.insert_block(pts, np.arange(next_id, next_id + n))
+            next_id += n
+            m.verify()
+
+    def test_dominating_insert_shrinks_skyline(self, codec):
+        m = SkylineMaintainer(codec)
+        m.insert_block(
+            np.array([[10.0, 10.0, 10.0], [12.0, 9.0, 11.0]]),
+            np.array([0, 1]),
+        )
+        assert m.skyline_size == 2
+        m.insert([1.0, 1.0, 1.0], 2)
+        points, ids = m.skyline()
+        assert ids.tolist() == [2]
+        assert m.size == 3
+
+    def test_duplicate_id_rejected(self, codec):
+        m = SkylineMaintainer(codec)
+        m.insert([1.0, 1.0, 1.0], 0)
+        with pytest.raises(DatasetError):
+            m.insert([2.0, 2.0, 2.0], 0)
+
+    def test_bad_shapes_rejected(self, codec):
+        m = SkylineMaintainer(codec)
+        with pytest.raises(DatasetError):
+            m.insert_block(np.zeros((2, 3)), np.array([1]))
+
+
+class TestDeletes:
+    def test_delete_non_skyline_point_keeps_skyline(self, codec):
+        m = SkylineMaintainer(codec)
+        m.insert_block(
+            np.array([[1.0, 1.0, 1.0], [9.0, 9.0, 9.0]]), np.array([0, 1])
+        )
+        before = m.skyline()[1].tolist()
+        m.delete([1])
+        assert m.skyline()[1].tolist() == before
+        assert m.size == 1
+        m.verify()
+
+    def test_delete_skyline_point_promotes_shadowed(self, codec):
+        m = SkylineMaintainer(codec)
+        # 0 dominates 1 exclusively; deleting 0 must surface 1.
+        m.insert_block(
+            np.array([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0], [9.0, 0.0, 9.0]]),
+            np.array([0, 1, 2]),
+        )
+        assert m.is_skyline_member(0)
+        assert not m.is_skyline_member(1)
+        m.delete([0])
+        assert m.is_skyline_member(1)
+        assert m.is_skyline_member(2)
+        m.verify()
+
+    def test_delete_everything(self, codec):
+        rng = np.random.default_rng(3)
+        m, pts = fresh(codec, rng, n=30)
+        m.delete(list(range(30)))
+        assert m.size == 0
+        assert m.skyline_size == 0
+        m.verify()
+
+    def test_delete_unknown_id_rejected(self, codec):
+        m = SkylineMaintainer(codec)
+        m.insert([1.0, 1.0, 1.0], 0)
+        with pytest.raises(DatasetError):
+            m.delete([5])
+
+    def test_is_skyline_member_requires_alive(self, codec):
+        m = SkylineMaintainer(codec)
+        m.insert([1.0, 1.0, 1.0], 0)
+        with pytest.raises(DatasetError):
+            m.is_skyline_member(99)
+
+
+class TestRandomizedStream:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_mixed_stream_matches_oracle(self, codec, seed):
+        rng = np.random.default_rng(seed)
+        m = SkylineMaintainer(codec)
+        alive = []
+        next_id = 0
+        for step in range(15):
+            if alive and rng.random() < 0.4:
+                k = int(rng.integers(1, max(2, len(alive) // 2)))
+                doomed = list(
+                    rng.choice(alive, size=min(k, len(alive)), replace=False)
+                )
+                m.delete(doomed)
+                alive = [a for a in alive if a not in set(doomed)]
+            else:
+                n = int(rng.integers(1, 25))
+                pts = rng.integers(0, 32, (n, 3)).astype(float)
+                ids = list(range(next_id, next_id + n))
+                m.insert_block(pts, np.asarray(ids))
+                alive.extend(ids)
+                next_id += n
+            m.verify()
+        assert m.size == len(alive)

@@ -1,0 +1,88 @@
+"""Unit and integration tests for the threaded cluster executor."""
+
+import numpy as np
+import pytest
+
+from repro import run_plan
+from repro.core.exceptions import ConfigurationError, MapReduceError
+from repro.core.skyline import is_skyline_of
+from repro.data.synthetic import anticorrelated
+from repro.mapreduce.parallel import ThreadedCluster
+from repro.zorder.encoding import quantize_dataset
+
+
+class TestThreadedCluster:
+    def test_results_in_task_order(self):
+        cluster = ThreadedCluster(4)
+        results = cluster.run_round(
+            "p", [lambda i=i: (i * 10, 1) for i in range(12)]
+        )
+        assert results == [i * 10 for i in range(12)]
+
+    def test_ledgers_attribute_work(self):
+        cluster = ThreadedCluster(3)
+        cluster.run_round("p", [lambda: (None, 7) for _ in range(6)])
+        metrics = cluster.metrics_for("p")
+        assert [w.tasks for w in metrics.ledgers] == [2, 2, 2]
+        assert metrics.total_cost == 42
+
+    def test_explicit_placement(self):
+        cluster = ThreadedCluster(3)
+        cluster.run_round(
+            "p", [lambda: (1, 5), lambda: (2, 5)], placement=[1, 1]
+        )
+        metrics = cluster.metrics_for("p")
+        assert metrics.ledgers[1].tasks == 2
+        assert metrics.ledgers[0].tasks == 0
+
+    def test_placement_validation(self):
+        cluster = ThreadedCluster(2)
+        with pytest.raises(MapReduceError):
+            cluster.run_round("p", [lambda: (1, 1)], placement=[7])
+        with pytest.raises(MapReduceError):
+            cluster.run_round("p", [lambda: (1, 1)], placement=[0, 1])
+
+    def test_task_exception_propagates(self):
+        cluster = ThreadedCluster(2)
+
+        def boom():
+            raise ValueError("kaput")
+
+        with pytest.raises(ValueError):
+            cluster.run_round("p", [boom])
+
+    def test_empty_round(self):
+        cluster = ThreadedCluster(2)
+        assert cluster.run_round("p", []) == []
+        assert cluster.metrics_for("p").makespan_cost == 0
+
+
+class TestThreadedEngine:
+    def test_same_skyline_as_simulated(self):
+        ds = anticorrelated(3000, 4, seed=13)
+        snapped, _ = quantize_dataset(ds, bits_per_dim=12)
+        sequential = run_plan(
+            "ZDG+ZS+ZM", ds, num_groups=8, num_workers=4, seed=0
+        )
+        threaded = run_plan(
+            "ZDG+ZS+ZM", ds, num_groups=8, num_workers=4, seed=0,
+            executor="threaded",
+        )
+        assert is_skyline_of(threaded.skyline.points, snapped.points)
+        assert sorted(threaded.skyline.ids.tolist()) == sorted(
+            sequential.skyline.ids.tolist()
+        )
+        # The deterministic cost model is executor-independent.
+        assert threaded.total_cost == sequential.total_cost
+
+    def test_executor_validation(self):
+        ds = anticorrelated(200, 3, seed=1)
+        with pytest.raises(ConfigurationError):
+            run_plan("ZHG+ZS", ds, executor="gpu")
+        with pytest.raises(ConfigurationError):
+            run_plan(
+                "ZHG+ZS", ds, executor="threaded",
+                slowdown_factors=[1.0] * 8,
+            )
+        with pytest.raises(ConfigurationError):
+            run_plan("ZHG+ZS", ds, executor="threaded", speculative=True)

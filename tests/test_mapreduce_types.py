@@ -1,0 +1,80 @@
+"""Unit tests for Block and dataset splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import MapReduceError
+from repro.mapreduce.types import Block, split_dataset
+
+
+class TestBlock:
+    def test_basic_properties(self):
+        b = Block(np.array([1, 2]), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert b.size == 2
+        assert b.dimensions == 2
+        assert b.nbytes == 2 * (2 * 8 + 8)
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(MapReduceError):
+            Block(np.array([1]), np.zeros((2, 2)))
+
+    def test_rejects_1d_points(self):
+        with pytest.raises(MapReduceError):
+            Block(np.array([1]), np.zeros(2))
+
+    def test_select_by_mask(self):
+        b = Block(np.array([1, 2, 3]), np.arange(6.0).reshape(3, 2))
+        sub = b.select(np.array([True, False, True]))
+        assert sub.ids.tolist() == [1, 3]
+
+    def test_empty_block(self):
+        b = Block.empty(4)
+        assert b.size == 0
+        assert b.dimensions == 4
+
+    def test_concat(self):
+        a = Block(np.array([1]), np.array([[1.0, 1.0]]))
+        b = Block(np.array([2]), np.array([[2.0, 2.0]]))
+        both = Block.concat([a, b])
+        assert both.size == 2
+        assert both.ids.tolist() == [1, 2]
+
+    def test_concat_single_is_identity(self):
+        a = Block(np.array([1]), np.array([[1.0, 1.0]]))
+        assert Block.concat([a]) is a
+
+    def test_concat_empty_list_rejected(self):
+        with pytest.raises(MapReduceError):
+            Block.concat([])
+
+    def test_from_dataset(self):
+        ds = Dataset([[1.0, 2.0]], ids=[9])
+        b = Block.from_dataset(ds)
+        assert b.ids.tolist() == [9]
+
+
+class TestSplitDataset:
+    def test_splits_cover_all_points(self):
+        ds = Dataset(np.arange(40.0).reshape(20, 2))
+        splits = split_dataset(ds, 3)
+        assert sum(s.size for s in splits) == 20
+        ids = np.concatenate([s.ids for s in splits])
+        assert sorted(ids.tolist()) == list(range(20))
+
+    def test_more_splits_than_points(self):
+        ds = Dataset(np.arange(6.0).reshape(3, 2))
+        splits = split_dataset(ds, 10)
+        assert len(splits) == 3
+        assert all(s.size == 1 for s in splits)
+
+    def test_rejects_nonpositive(self):
+        ds = Dataset(np.arange(6.0).reshape(3, 2))
+        with pytest.raises(MapReduceError):
+            split_dataset(ds, 0)
+
+    def test_roughly_equal_split_sizes(self):
+        ds = Dataset(np.arange(200.0).reshape(100, 2))
+        splits = split_dataset(ds, 7)
+        sizes = [s.size for s in splits]
+        assert max(sizes) - min(sizes) <= 1

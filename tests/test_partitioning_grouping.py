@@ -1,0 +1,128 @@
+"""Unit tests for ZHG (Algorithm 1) heuristic grouping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.partitioning.grouping import (
+    HeuristicGroupingPartitioner,
+    compute_sample_stats,
+    greedy_pack,
+    range_counts,
+)
+from repro.zorder.encoding import quantize_dataset
+from repro.data.synthetic import anticorrelated, independent
+
+
+def snapped(dist_fn, n=3000, d=4, seed=0, bits=8):
+    return quantize_dataset(dist_fn(n, d, seed=seed), bits_per_dim=bits)
+
+
+class TestRangeCounts:
+    def test_counts_partition_the_input(self):
+        values = sorted([1, 5, 5, 7, 9, 12, 20])
+        counts = range_counts(values, [5, 10])
+        assert counts.tolist() == [1, 4, 2]
+        assert counts.sum() == len(values)
+
+    def test_no_pivots(self):
+        assert range_counts([1, 2, 3], []).tolist() == [3]
+
+
+class TestGreedyPack:
+    def test_respects_caps_where_possible(self):
+        point_counts = np.array([10, 10, 10, 10])
+        sky_counts = np.array([5, 5, 5, 5])
+        gm = greedy_pack([0, 1, 2, 3], point_counts, sky_counts, 20, 10)
+        # Two partitions fit per group under both caps.
+        assert gm.tolist() == [0, 0, 1, 1]
+
+    def test_oversized_partition_gets_own_group(self):
+        point_counts = np.array([100, 1, 1])
+        sky_counts = np.array([0, 0, 0])
+        gm = greedy_pack([0, 1, 2], point_counts, sky_counts, 10, 10)
+        assert gm[0] == 0
+        assert gm[1] == gm[2] == 1
+
+    def test_skyline_cap_triggers_split(self):
+        point_counts = np.array([1, 1, 1])
+        sky_counts = np.array([9, 9, 9])
+        gm = greedy_pack([0, 1, 2], point_counts, sky_counts, 100, 10)
+        assert len(set(gm.tolist())) == 3
+
+    def test_every_partition_assigned(self):
+        rng = np.random.default_rng(0)
+        pc = rng.integers(1, 50, 30)
+        sc = rng.integers(0, 10, 30)
+        gm = greedy_pack(range(30), pc, sc, 60, 12)
+        assert (gm >= 0).all()
+
+
+class TestComputeSampleStats:
+    def test_counts_are_consistent(self):
+        sample, codec = snapped(independent)
+        stats = compute_sample_stats(sample, codec, parts=16)
+        assert stats.point_counts.sum() == sample.size
+        assert stats.skyline_counts.sum() == stats.skyline_size
+        assert len(stats.point_counts) == stats.num_partitions
+
+    def test_redistribute_limits_heavy_partitions(self):
+        sample, codec = snapped(anticorrelated)
+        with_split = compute_sample_stats(
+            sample, codec, parts=8, expand_heavy=True
+        )
+        without = compute_sample_stats(
+            sample, codec, parts=8, expand_heavy=False
+        )
+        assert with_split.num_partitions >= without.num_partitions
+        scons = max(1, math.ceil(with_split.skyline_size / 8))
+        # After splitting, partitions exceed the cap only when their
+        # skyline points share too few distinct z-addresses to split.
+        heavy = (with_split.skyline_counts > 2 * scons).sum()
+        assert heavy <= max(1, with_split.num_partitions // 10)
+
+
+class TestZHG:
+    def test_rejects_bad_expansion(self):
+        with pytest.raises(ConfigurationError):
+            HeuristicGroupingPartitioner(expansion=0)
+
+    def test_rejects_bad_num_groups(self):
+        sample, codec = snapped(independent, n=200)
+        with pytest.raises(ConfigurationError):
+            HeuristicGroupingPartitioner().fit(sample, codec, 0)
+
+    def test_all_partitions_grouped_nothing_dropped(self):
+        sample, codec = snapped(independent)
+        rule = HeuristicGroupingPartitioner().fit(sample, codec, 8)
+        assert (rule.group_map >= 0).all()
+
+    def test_group_ids_contiguous(self):
+        sample, codec = snapped(anticorrelated)
+        rule = HeuristicGroupingPartitioner().fit(sample, codec, 8)
+        used = sorted(set(rule.group_map.tolist()))
+        assert used == list(range(rule.num_groups))
+
+    def test_skyline_points_spread_across_groups(self):
+        # The anti-straggler property (Proposition 1): no single group
+        # hoards the sample skyline.
+        from repro.algorithms.zs import zs_skyline
+
+        sample, codec = snapped(anticorrelated, n=4000)
+        num_groups = 8
+        rule = HeuristicGroupingPartitioner().fit(sample, codec, num_groups)
+        sky_pts, sky_ids = zs_skyline(sample.points, sample.ids, None, codec)
+        gids = rule.assign_groups(sky_pts, sky_ids)
+        counts = np.bincount(gids[gids >= 0], minlength=rule.num_groups)
+        # Each group's skyline share stays near |S|/M (allow 3x).
+        fair = len(sky_pts) / rule.num_groups
+        assert counts.max() <= max(3 * fair, 6)
+
+    def test_more_groups_than_requested_is_allowed(self):
+        sample, codec = snapped(anticorrelated)
+        rule = HeuristicGroupingPartitioner().fit(sample, codec, 8)
+        # Greedy packing may open extra groups but not absurdly many.
+        assert 8 <= rule.num_groups <= 8 * 4 * 3

@@ -1,0 +1,76 @@
+"""Unit tests for the kd-tree partitioner."""
+
+import numpy as np
+import pytest
+
+from repro import run_plan
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.core.skyline import is_skyline_of
+from repro.data.synthetic import anticorrelated, independent
+from repro.partitioning import get_partitioner, reservoir_sample
+from repro.partitioning.base import load_imbalance
+from repro.partitioning.kdtree import KDTreePartitioner
+from repro.zorder.encoding import quantize_dataset
+
+
+def fitted(n=3000, d=4, num_groups=16, seed=0):
+    ds = independent(n, d, seed=seed)
+    snapped, codec = quantize_dataset(ds, bits_per_dim=8)
+    sample = reservoir_sample(snapped, ratio=0.1, seed=seed)
+    rule = KDTreePartitioner().fit(sample, codec, num_groups)
+    return rule, snapped
+
+
+class TestKDTreeRule:
+    def test_registered(self):
+        assert isinstance(get_partitioner("kdtree"), KDTreePartitioner)
+
+    def test_rejects_bad_groups(self):
+        ds = Dataset(np.random.default_rng(0).random((50, 2)))
+        snapped, codec = quantize_dataset(ds, bits_per_dim=4)
+        with pytest.raises(ConfigurationError):
+            KDTreePartitioner().fit(snapped, codec, 0)
+
+    def test_every_point_assigned(self):
+        rule, snapped = fitted()
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert gids.min() >= 0
+        assert gids.max() < rule.num_groups
+
+    def test_group_count_near_request(self):
+        rule, _ = fitted(num_groups=16)
+        assert 8 <= rule.num_groups <= 16
+
+    def test_median_splits_balance_counts(self):
+        rule, snapped = fitted(n=4000, num_groups=16)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert load_imbalance(gids, rule.num_groups) < 1.8
+
+    def test_single_group(self):
+        rule, snapped = fitted(num_groups=1)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert set(gids.tolist()) == {0}
+        assert rule.depth() == 0
+
+    def test_degenerate_constant_data(self):
+        ds = Dataset(np.full((40, 3), 7.0))
+        snapped, codec = quantize_dataset(ds, bits_per_dim=4)
+        rule = KDTreePartitioner().fit(snapped, codec, 8)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert (gids >= 0).all()
+
+    def test_depth_logarithmic(self):
+        rule, _ = fitted(num_groups=32)
+        assert rule.depth() <= 8
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("plan", ["KDTree+ZS", "KDG+ZS+ZM"])
+    def test_exact(self, plan):
+        ds = anticorrelated(1500, 4, seed=4)
+        snapped, _ = quantize_dataset(ds, bits_per_dim=10)
+        report = run_plan(
+            plan, ds, num_groups=8, num_workers=4, bits_per_dim=10, seed=0
+        )
+        assert is_skyline_of(report.skyline.points, snapped.points)

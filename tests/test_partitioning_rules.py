@@ -1,0 +1,161 @@
+"""Unit tests for the random/grid/angle partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.partitioning import get_partitioner
+from repro.partitioning.angle import AnglePartitioner, hyperspherical_angles
+from repro.partitioning.base import (
+    assignment_counts,
+    available_partitioners,
+    load_imbalance,
+)
+from repro.partitioning.grid import GridPartitioner, splits_for
+from repro.partitioning.random_part import RandomPartitioner
+from repro.zorder.encoding import ZGridCodec, quantize_dataset
+
+
+def snapped_uniform(n=2000, d=4, seed=0, bits=8):
+    rng = np.random.default_rng(seed)
+    ds = Dataset(rng.random((n, d)))
+    return quantize_dataset(ds, bits_per_dim=bits)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in available_partitioners():
+            assert get_partitioner(name) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_partitioner("voronoi")
+
+
+class TestRandom:
+    def test_round_robin_by_id(self):
+        snapped, codec = snapped_uniform()
+        rule = RandomPartitioner().fit(snapped, codec, 8)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert np.array_equal(gids, snapped.ids % 8)
+
+    def test_perfectly_balanced(self):
+        snapped, codec = snapped_uniform(n=800)
+        rule = RandomPartitioner().fit(snapped, codec, 8)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert load_imbalance(gids, 8) == 1.0
+
+    def test_rejects_nonpositive_groups(self):
+        snapped, codec = snapped_uniform(n=10)
+        with pytest.raises(ConfigurationError):
+            RandomPartitioner().fit(snapped, codec, 0)
+
+
+class TestSplitsFor:
+    def test_power_of_two(self):
+        assert splits_for(8, 5) == [2, 2, 2, 1, 1]
+
+    def test_more_groups_than_single_splits(self):
+        splits = splits_for(32, 3)
+        assert int(np.prod(splits)) >= 32
+        assert splits == [4, 4, 2]
+
+    def test_single_group(self):
+        assert splits_for(1, 4) == [1, 1, 1, 1]
+
+
+class TestGrid:
+    def test_every_point_assigned(self):
+        snapped, codec = snapped_uniform()
+        rule = GridPartitioner().fit(snapped, codec, 16)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert gids.min() >= 0
+        assert gids.max() < rule.num_groups
+
+    def test_num_groups_is_cell_count(self):
+        snapped, codec = snapped_uniform(d=4)
+        rule = GridPartitioner().fit(snapped, codec, 16)
+        assert rule.num_groups == 16
+
+    def test_cells_respect_geometry(self):
+        snapped, codec = snapped_uniform(d=2, bits=8)
+        rule = GridPartitioner().fit(snapped, codec, 4)
+        # 2x2 grid: a point in the low-low quadrant and one in the
+        # high-high quadrant land in different cells.
+        lo_point = np.array([[1.0, 1.0]])
+        hi_point = np.array([[250.0, 250.0]])
+        g1 = rule.assign_groups(lo_point, np.array([0]))
+        g2 = rule.assign_groups(hi_point, np.array([1]))
+        assert g1[0] != g2[0]
+
+    def test_cell_of_gid_roundtrip(self):
+        snapped, codec = snapped_uniform(d=3)
+        rule = GridPartitioner().fit(snapped, codec, 8)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        cells = rule.cell_of(snapped.points)
+        for gid in np.unique(gids):
+            expect = cells[gids == gid][0]
+            assert np.array_equal(rule.cell_of_gid(int(gid)), expect)
+
+    def test_high_dimensional_imbalance_documented(self):
+        # The failure mode the paper highlights: on non-uniform data the
+        # equal-width grid loads cells unevenly.
+        rng = np.random.default_rng(5)
+        skewed = Dataset(rng.beta(0.3, 3.0, (4000, 6)))
+        snapped, codec = quantize_dataset(skewed, bits_per_dim=8)
+        rule = GridPartitioner().fit(snapped, codec, 32)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert load_imbalance(gids, rule.num_groups) > 1.5
+
+
+class TestAngle:
+    def test_every_point_assigned(self):
+        snapped, codec = snapped_uniform()
+        rule = AnglePartitioner().fit(snapped, codec, 16)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        assert gids.min() >= 0
+        assert gids.max() < rule.num_groups
+
+    def test_quantile_boundaries_balance_sample(self):
+        snapped, codec = snapped_uniform(n=4000)
+        rule = AnglePartitioner().fit(snapped, codec, 8)
+        gids = rule.assign_groups(snapped.points, snapped.ids)
+        # Dynamic (quantile) boundaries: balanced on the data they were
+        # fitted on.
+        assert load_imbalance(gids, rule.num_groups) < 1.5
+
+    def test_rejects_1d(self):
+        rng = np.random.default_rng(0)
+        ds = Dataset(rng.random((50, 1)))
+        snapped, codec = quantize_dataset(ds, bits_per_dim=4)
+        with pytest.raises(ConfigurationError):
+            AnglePartitioner().fit(snapped, codec, 4)
+
+    def test_angles_shape_and_range(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((100, 5)) + 0.01
+        angles = hyperspherical_angles(pts)
+        assert angles.shape == (100, 4)
+        # Positive orthant: angles in (0, pi/2).
+        assert angles.min() >= 0.0
+        assert angles.max() <= np.pi / 2 + 1e-9
+
+    def test_2d_angle_is_atan2(self):
+        pts = np.array([[1.0, 1.0], [1.0, 0.0]])
+        angles = hyperspherical_angles(pts)
+        assert angles[0, 0] == pytest.approx(np.pi / 4)
+        assert angles[1, 0] == pytest.approx(0.0)
+
+
+class TestHelpers:
+    def test_assignment_counts_ignores_dropped(self):
+        gids = np.array([0, 0, 1, -1, 2])
+        counts = assignment_counts(gids, 3)
+        assert counts.tolist() == [2, 1, 1]
+
+    def test_load_imbalance_balanced(self):
+        assert load_imbalance(np.array([0, 1, 2, 0, 1, 2]), 3) == 1.0
+
+    def test_load_imbalance_empty(self):
+        assert load_imbalance(np.array([], dtype=np.int64), 4) == 1.0

@@ -1,0 +1,79 @@
+"""Unit tests for reservoir sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import DatasetError
+from repro.partitioning.sampling import (
+    reservoir_sample,
+    reservoir_sample_indices,
+)
+
+
+class TestIndices:
+    def test_exact_size(self):
+        rng = np.random.default_rng(0)
+        idx = reservoir_sample_indices(1000, 50, rng)
+        assert idx.shape == (50,)
+        assert len(np.unique(idx)) == 50
+        assert idx.min() >= 0 and idx.max() < 1000
+
+    def test_k_at_least_n_returns_everything(self):
+        rng = np.random.default_rng(0)
+        assert reservoir_sample_indices(10, 10, rng).tolist() == list(range(10))
+        assert reservoir_sample_indices(10, 99, rng).tolist() == list(range(10))
+
+    def test_rejects_nonpositive_k(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            reservoir_sample_indices(10, 0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = reservoir_sample_indices(500, 20, np.random.default_rng(42))
+        b = reservoir_sample_indices(500, 20, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_roughly_uniform(self):
+        # Every position should be selected with probability ~k/n.
+        n, k, trials = 200, 20, 400
+        hits = np.zeros(n)
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            hits[reservoir_sample_indices(n, k, rng)] += 1
+        freq = hits / trials
+        # Expected 0.1; allow generous tolerance.
+        assert abs(freq.mean() - k / n) < 1e-9
+        assert freq.min() > 0.03
+        assert freq.max() < 0.25
+
+
+class TestDatasetSampling:
+    def test_sample_by_ratio(self):
+        ds = Dataset(np.arange(200.0).reshape(100, 2))
+        sample = reservoir_sample(ds, ratio=0.1, seed=1)
+        assert sample.size == 10
+        # Sampled rows exist in the original dataset.
+        assert set(sample.ids.tolist()) <= set(ds.ids.tolist())
+
+    def test_sample_by_size(self):
+        ds = Dataset(np.arange(200.0).reshape(100, 2))
+        assert reservoir_sample(ds, size=7, seed=1).size == 7
+
+    def test_requires_exactly_one_of_ratio_size(self):
+        ds = Dataset(np.arange(20.0).reshape(10, 2))
+        with pytest.raises(DatasetError):
+            reservoir_sample(ds)
+        with pytest.raises(DatasetError):
+            reservoir_sample(ds, ratio=0.5, size=3)
+
+    def test_ratio_bounds(self):
+        ds = Dataset(np.arange(20.0).reshape(10, 2))
+        with pytest.raises(DatasetError):
+            reservoir_sample(ds, ratio=0.0)
+        with pytest.raises(DatasetError):
+            reservoir_sample(ds, ratio=1.5)
+
+    def test_tiny_ratio_gives_at_least_one(self):
+        ds = Dataset(np.arange(20.0).reshape(10, 2))
+        assert reservoir_sample(ds, ratio=0.001, seed=0).size == 1

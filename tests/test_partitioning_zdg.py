@@ -1,0 +1,194 @@
+"""Unit tests for ZDG (Algorithm 2) dominance-based grouping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.core.skyline import skyline_indices_oracle
+from repro.data.synthetic import anticorrelated, independent
+from repro.partitioning.base import DROPPED
+from repro.partitioning.dominance_grouping import (
+    DominanceGroupingPartitioner,
+    build_dominance_matrix,
+    log_dominance_volume,
+    prune_dominated_partitions,
+)
+from repro.zorder.encoding import ZGridCodec, quantize_dataset
+from repro.zorder.rzregion import RZRegion, dominance_volume
+
+
+def snapped(dist_fn, n=3000, d=4, seed=0, bits=8):
+    return quantize_dataset(dist_fn(n, d, seed=seed), bits_per_dim=bits)
+
+
+def box(lo, hi) -> RZRegion:
+    return RZRegion.from_corners(0, 0, np.array(lo), np.array(hi))
+
+
+class TestLogDominanceVolume:
+    def test_agrees_with_exact_volume(self):
+        a = box([0, 0], [3, 3])
+        b = box([2, 2], [5, 5])
+        exact = dominance_volume(a, b)
+        assert math.exp(log_dominance_volume(a, b)) == pytest.approx(exact)
+
+    def test_zero_volume_is_minus_inf(self):
+        a = box([0, 0], [3, 3])
+        assert log_dominance_volume(a, a) == -math.inf
+
+    def test_no_overflow_in_high_dimensions(self):
+        d = 512
+        a = box([0] * d, [10] * d)
+        b = box([5] * d, [500] * d)
+        val = log_dominance_volume(a, b)
+        assert math.isfinite(val)
+
+
+class TestDominanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        regions = [
+            box([0, 0], [3, 3]),
+            box([2, 2], [5, 5]),
+            box([8, 0], [9, 1]),
+        ]
+        dm = build_dominance_matrix(regions)
+        assert np.array_equal(dm, dm.T)
+        assert np.all(np.diag(dm) == 0.0)
+
+    def test_relative_order_preserved(self):
+        a = box([0, 0], [3, 3])
+        big = box([2, 2], [9, 9])
+        small = box([4, 4], [5, 5])
+        dm = build_dominance_matrix([a, big, small])
+        assert dm[0, 1] > dm[0, 2]
+
+    def test_all_zero_volumes(self):
+        a = box([0, 0], [1, 1])
+        dm = build_dominance_matrix([a, a])
+        assert np.all(dm == 0.0)
+
+    def test_high_dimensional_matrix_finite(self):
+        rng = np.random.default_rng(0)
+        d = 200
+        regions = []
+        for _ in range(6):
+            lo = rng.integers(0, 100, d)
+            hi = lo + rng.integers(1, 100, d)
+            regions.append(box(lo, hi))
+        dm = build_dominance_matrix(regions)
+        assert np.isfinite(dm).all()
+        assert dm.max() <= 1.0 + 1e-12
+
+
+class TestPruning:
+    def test_fully_dominated_partition_pruned(self):
+        low = box([0, 0], [1, 1])
+        high = box([8, 8], [9, 9])
+        pruned = prune_dominated_partitions(
+            [low, high], nonempty=np.array([True, True])
+        )
+        assert pruned.tolist() == [False, True]
+
+    def test_empty_partitions_cannot_prune(self):
+        low = box([0, 0], [1, 1])
+        high = box([8, 8], [9, 9])
+        pruned = prune_dominated_partitions(
+            [low, high], nonempty=np.array([False, True])
+        )
+        assert pruned.tolist() == [False, False]
+
+    def test_incomparable_partitions_not_pruned(self):
+        a = box([0, 8], [1, 9])
+        b = box([8, 0], [9, 1])
+        pruned = prune_dominated_partitions(
+            [a, b], nonempty=np.array([True, True])
+        )
+        assert not pruned.any()
+
+
+class TestZDG:
+    def test_rejects_bad_expansion(self):
+        with pytest.raises(ConfigurationError):
+            DominanceGroupingPartitioner(expansion=0)
+
+    def test_rejects_bad_num_groups(self):
+        sample, codec = snapped(independent, n=200)
+        with pytest.raises(ConfigurationError):
+            DominanceGroupingPartitioner().fit(sample, codec, 0)
+
+    def test_group_ids_contiguous_with_optional_drops(self):
+        sample, codec = snapped(independent)
+        rule = DominanceGroupingPartitioner().fit(sample, codec, 8)
+        used = sorted(set(rule.group_map[rule.group_map >= 0].tolist()))
+        assert used == list(range(rule.num_groups))
+
+    def test_dropping_never_loses_skyline_points(self):
+        # The safety property behind Algorithm 3 line 7: every dropped
+        # point is dominated by some kept point.
+        for dist_fn, seed in [(independent, 1), (anticorrelated, 2)]:
+            full, codec = snapped(dist_fn, n=2500, seed=seed)
+            rule = DominanceGroupingPartitioner().fit(full, codec, 8)
+            gids = rule.assign_groups(full.points, full.ids)
+            dropped = gids == DROPPED
+            if not dropped.any():
+                continue
+            sky_idx = set(skyline_indices_oracle(full.points).tolist())
+            dropped_idx = set(np.flatnonzero(dropped).tolist())
+            assert not (sky_idx & dropped_idx)
+
+    def test_groups_have_positive_affinity_when_possible(self):
+        # Partitions sharing a group should typically have non-zero
+        # mutual dominance volume (the objective being maximised).
+        sample, codec = snapped(independent, n=4000)
+        partitioner = DominanceGroupingPartitioner()
+        rule = partitioner.fit(sample, codec, 8)
+        regions = rule.regions()
+        gm = rule.group_map
+        dm = build_dominance_matrix(regions)
+        intra_volumes = []
+        for gid in range(rule.num_groups):
+            members = np.flatnonzero(gm == gid)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    intra_volumes.append(dm[members[i], members[j]])
+        m = dm.shape[0]
+        all_volumes = dm[np.triu_indices(m, k=1)]
+        if intra_volumes and all_volumes.size:
+            # Greedy grouping should concentrate dominance volume inside
+            # groups: mean intra-group affinity beats the all-pairs mean.
+            assert np.mean(intra_volumes) >= all_volumes.mean()
+
+    def test_capacity_constraints_respected(self):
+        # Each group's sample-point and sample-skyline totals stay
+        # within the caps, except for single-partition groups (a
+        # partition bigger than the cap must still live somewhere).
+        import math
+
+        from repro.partitioning.grouping import compute_sample_stats
+
+        sample, codec = snapped(anticorrelated, n=4000)
+        M = 8
+        partitioner = DominanceGroupingPartitioner()
+        rule = partitioner.fit(sample, codec, M)
+        stats = compute_sample_stats(
+            sample, codec, parts=M * partitioner.expansion
+        )
+        tcons = max(1, math.ceil(stats.sample_size / M))
+        scons = max(1, math.ceil(max(stats.skyline_size, 1) / M))
+        gm = rule.group_map
+        for gid in range(rule.num_groups):
+            members = np.flatnonzero(gm == gid)
+            if len(members) <= 1:
+                continue
+            assert stats.point_counts[members].sum() <= tcons
+            assert stats.skyline_counts[members].sum() <= scons
+
+    def test_deterministic_given_seed(self):
+        sample, codec = snapped(independent)
+        a = DominanceGroupingPartitioner().fit(sample, codec, 8, seed=3)
+        b = DominanceGroupingPartitioner().fit(sample, codec, 8, seed=3)
+        assert a.pivots == b.pivots
+        assert np.array_equal(a.group_map, b.group_map)

@@ -1,0 +1,55 @@
+"""Integration tests for the MR-GPMRS baseline pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, run_gpmrs
+from repro.core.skyline import is_skyline_of
+from repro.data.synthetic import anticorrelated, correlated, independent
+from repro.pipeline.plans import parse_plan
+from repro.zorder.encoding import quantize_dataset
+
+
+def config(**kwargs):
+    defaults = dict(
+        plan=parse_plan("Grid+SB"), num_groups=16, num_workers=4,
+        bits_per_dim=10,
+    )
+    defaults.update(kwargs)
+    return EngineConfig(**defaults)
+
+
+@pytest.mark.parametrize("dist_fn", [independent, correlated, anticorrelated])
+def test_gpmrs_exact(dist_fn):
+    ds = dist_fn(1500, 4, seed=21)
+    snapped, _ = quantize_dataset(ds, bits_per_dim=10)
+    report = run_gpmrs(ds, config())
+    assert is_skyline_of(report.skyline.points, snapped.points)
+
+
+def test_gpmrs_label():
+    ds = independent(500, 3, seed=22)
+    report = run_gpmrs(ds, config(num_groups=8))
+    assert report.plan.label == "MR-GPMRS"
+
+
+def test_gpmrs_uses_multiple_merge_reducers():
+    ds = independent(2000, 4, seed=23)
+    report = run_gpmrs(ds, config())
+    busy = [w for w in report.phase2.reduce_metrics.ledgers if w.tasks > 0]
+    assert len(busy) > 1
+
+
+def test_gpmrs_replication_inflates_shuffle():
+    # The bitstring merge replicates candidate blocks to every reachable
+    # cell, so phase-2 shuffle exceeds the candidate count.
+    ds = independent(2000, 3, seed=24)
+    report = run_gpmrs(ds, config(num_groups=8))
+    assert report.phase2.shuffle_records >= report.num_candidates
+
+
+def test_gpmrs_high_dimensions():
+    ds = independent(600, 8, seed=25)
+    snapped, _ = quantize_dataset(ds, bits_per_dim=8)
+    report = run_gpmrs(ds, config(bits_per_dim=8, num_groups=32))
+    assert is_skyline_of(report.skyline.points, snapped.points)

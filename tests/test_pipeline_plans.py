@@ -1,0 +1,78 @@
+"""Unit tests for plan-string parsing."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.pipeline.plans import PlanConfig, parse_plan
+
+
+class TestParsePlan:
+    def test_paper_strategy_names(self):
+        cfg = parse_plan("ZDG+ZS+ZM")
+        assert cfg.partitioner == "zdg"
+        assert cfg.local_algorithm == "ZS"
+        assert cfg.merge_algorithm == "ZM"
+        assert cfg.prefilter is True
+
+    def test_baselines_have_no_prefilter(self):
+        assert parse_plan("Grid+SB").prefilter is False
+        assert parse_plan("Angle+ZS").prefilter is False
+        assert parse_plan("Random+BNL").prefilter is False
+
+    def test_z_family_has_prefilter(self):
+        for name in ("Naive-Z+ZS", "ZHG+SB", "ZDG+ZS"):
+            assert parse_plan(name).prefilter is True
+
+    def test_default_merge_is_zs(self):
+        assert parse_plan("Grid+SB").merge_algorithm == "ZS"
+
+    def test_case_insensitive(self):
+        assert parse_plan("zdg+zs+zm").partitioner == "zdg"
+
+    def test_aliases(self):
+        assert parse_plan("NZ+ZS").partitioner == "naive-z"
+        assert parse_plan("NaiveZ+ZS").partitioner == "naive-z"
+
+    def test_unknown_partitioner(self):
+        with pytest.raises(ConfigurationError):
+            parse_plan("Voronoi+ZS")
+
+    def test_unknown_local(self):
+        with pytest.raises(ConfigurationError):
+            parse_plan("Grid+XX")
+
+    def test_unknown_merge(self):
+        with pytest.raises(ConfigurationError):
+            parse_plan("Grid+SB+XX")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ConfigurationError):
+            parse_plan("Grid")
+        with pytest.raises(ConfigurationError):
+            parse_plan("Grid+SB+ZM+ZS")
+
+    def test_label_preserved(self):
+        assert parse_plan("ZDG+ZS+ZM").label == "ZDG+ZS+ZM"
+
+
+class TestPlanConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlanConfig("nope", "ZS", "ZM", True)
+        with pytest.raises(ConfigurationError):
+            PlanConfig("zdg", "nope", "ZM", True)
+        with pytest.raises(ConfigurationError):
+            PlanConfig("zdg", "ZS", "nope", True)
+
+    def test_plan_string_roundtrip(self):
+        cfg = PlanConfig("zdg", "ZS", "ZM", True)
+        assert cfg.plan_string() == "Zdg+ZS+ZM"
+
+    def test_with_merge(self):
+        cfg = parse_plan("ZDG+ZS+ZM").with_merge("SB")
+        assert cfg.merge_algorithm == "SB"
+        assert cfg.partitioner == "zdg"
+
+    def test_default_label_generated(self):
+        cfg = PlanConfig("grid", "SB", "ZS", False)
+        assert cfg.label

@@ -1,0 +1,66 @@
+"""Unit tests for the phase-0 preprocessing step."""
+
+import numpy as np
+import pytest
+
+from repro.core.skyline import skyline_indices_oracle
+from repro.data.synthetic import independent
+from repro.mapreduce.cache import DistributedCache
+from repro.pipeline.preprocess import (
+    CACHE_CODEC,
+    CACHE_RULE,
+    CACHE_SAMPLE_SKYLINE,
+    CACHE_SZB_TREE,
+    preprocess,
+)
+from repro.zorder.encoding import quantize_dataset
+
+
+@pytest.fixture(scope="module")
+def snapped_and_codec():
+    ds = independent(3000, 4, seed=9)
+    return quantize_dataset(ds, bits_per_dim=8)
+
+
+@pytest.mark.parametrize(
+    "name", ["random", "grid", "angle", "naive-z", "zhg", "zdg"]
+)
+def test_preprocess_each_partitioner(snapped_and_codec, name):
+    snapped, codec = snapped_and_codec
+    result = preprocess(snapped, codec, name, 8, sample_ratio=0.05, seed=1)
+    assert result.rule.num_groups >= 1
+    assert result.seconds >= 0.0
+    assert result.details["partitioner"] == name
+    assert result.sample.size == 150
+
+
+def test_sample_skyline_is_correct(snapped_and_codec):
+    snapped, codec = snapped_and_codec
+    result = preprocess(snapped, codec, "naive-z", 8, sample_ratio=0.05)
+    expected_idx = skyline_indices_oracle(result.sample.points)
+    assert result.sample_skyline.shape[0] == len(expected_idx)
+    assert result.szb_tree.size == len(expected_idx)
+
+
+def test_publish_ships_all_artifacts(snapped_and_codec):
+    snapped, codec = snapped_and_codec
+    result = preprocess(snapped, codec, "zdg", 8)
+    cache = DistributedCache()
+    result.publish(cache)
+    for key in (CACHE_RULE, CACHE_CODEC, CACHE_SAMPLE_SKYLINE, CACHE_SZB_TREE):
+        assert key in cache
+
+
+def test_deterministic_given_seed(snapped_and_codec):
+    snapped, codec = snapped_and_codec
+    a = preprocess(snapped, codec, "zdg", 8, seed=5)
+    b = preprocess(snapped, codec, "zdg", 8, seed=5)
+    assert np.array_equal(a.sample_skyline, b.sample_skyline)
+    assert a.rule.pivots == b.rule.pivots
+
+
+def test_expansion_forwarded_to_grouping(snapped_and_codec):
+    snapped, codec = snapped_and_codec
+    small = preprocess(snapped, codec, "zhg", 4, expansion=2)
+    large = preprocess(snapped, codec, "zhg", 4, expansion=8)
+    assert large.rule.num_partitions > small.rule.num_partitions

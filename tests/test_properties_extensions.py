@@ -1,0 +1,100 @@
+"""Property-based tests for the query extensions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.point import dominates
+from repro.core.skyline import skyline_indices_oracle
+from repro.extensions import (
+    k_dominant_skyline,
+    k_dominates,
+    subspace_skyline,
+    why_not,
+)
+
+
+@st.composite
+def grid_points(draw, max_points=40, max_dims=4, top=8):
+    d = draw(st.integers(min_value=1, max_value=max_dims))
+    n = draw(st.integers(min_value=1, max_value=max_points))
+    rows = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=top - 1),
+                min_size=d, max_size=d,
+            ),
+            min_size=n, max_size=n,
+        )
+    )
+    return np.asarray(rows, dtype=float)
+
+
+@given(grid_points(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_k_dominant_is_subset_of_skyline(points, data):
+    d = points.shape[1]
+    k = data.draw(st.integers(min_value=1, max_value=d))
+    kd_pts, kd_ids = k_dominant_skyline(points, k)
+    sky = set(skyline_indices_oracle(points).tolist())
+    # k-dominance is a *stronger* pruning: its survivors are regular
+    # skyline members too.
+    assert set(kd_ids.tolist()) <= sky
+
+
+@given(grid_points())
+@settings(max_examples=60, deadline=None)
+def test_k_equals_d_matches_oracle(points):
+    d = points.shape[1]
+    _, ids = k_dominant_skyline(points, d)
+    assert ids.tolist() == skyline_indices_oracle(points).tolist()
+
+
+@given(grid_points(max_dims=3), st.data())
+@settings(max_examples=60, deadline=None)
+def test_k_dominates_pairwise_consistency(points, data):
+    d = points.shape[1]
+    k = data.draw(st.integers(min_value=1, max_value=d))
+    i = data.draw(st.integers(0, points.shape[0] - 1))
+    j = data.draw(st.integers(0, points.shape[0] - 1))
+    if i == j:
+        return
+    p, q = points[i], points[j]
+    # Regular dominance implies k-dominance for every k <= d.
+    if dominates(p, q):
+        assert k_dominates(p, q, k)
+
+
+@given(grid_points(max_dims=4), st.data())
+@settings(max_examples=60, deadline=None)
+def test_subspace_skyline_superset_property(points, data):
+    d = points.shape[1]
+    if d < 2:
+        return
+    size = data.draw(st.integers(min_value=1, max_value=d - 1))
+    dims = sorted(
+        data.draw(
+            st.lists(
+                st.integers(0, d - 1), min_size=size, max_size=size,
+                unique=True,
+            )
+        )
+    )
+    _, sub_ids = subspace_skyline(points, dims)
+    # Subspace skyline members are never dominated *in the subspace*.
+    proj = points[:, dims]
+    sub_sky = set(skyline_indices_oracle(proj).tolist())
+    assert set(sub_ids.tolist()) == sub_sky
+
+
+@given(grid_points())
+@settings(max_examples=60, deadline=None)
+def test_why_not_consistent_with_oracle(points):
+    sky = set(skyline_indices_oracle(points).tolist())
+    for i in range(min(points.shape[0], 5)):
+        explanation = why_not(points[i], points)
+        assert explanation.is_skyline_member == (i in sky)
+        if not explanation.is_skyline_member:
+            # Every reported dominator genuinely dominates.
+            for dom in explanation.dominator_points:
+                assert dominates(dom, points[i])

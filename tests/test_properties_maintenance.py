@@ -1,0 +1,63 @@
+"""Property-based test: arbitrary insert/delete streams keep the
+maintained skyline equal to the oracle's."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maintenance import SkylineMaintainer
+from repro.zorder.encoding import ZGridCodec
+
+
+@st.composite
+def update_stream(draw):
+    """A short stream of insert/delete operations on a 3-D grid."""
+    ops = []
+    next_id = 0
+    alive = []
+    n_ops = draw(st.integers(min_value=1, max_value=8))
+    for _ in range(n_ops):
+        if alive and draw(st.booleans()):
+            count = draw(st.integers(1, len(alive)))
+            positions = draw(
+                st.lists(
+                    st.integers(0, len(alive) - 1),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            doomed = [alive[p] for p in positions]
+            ops.append(("delete", doomed))
+            alive = [a for a in alive if a not in set(doomed)]
+        else:
+            n = draw(st.integers(1, 12))
+            rows = draw(
+                st.lists(
+                    st.lists(st.integers(0, 15), min_size=3, max_size=3),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+            ids = list(range(next_id, next_id + n))
+            ops.append(("insert", (rows, ids)))
+            alive.extend(ids)
+            next_id += n
+    return ops
+
+
+@given(update_stream())
+@settings(max_examples=40, deadline=None)
+def test_stream_always_matches_oracle(ops):
+    codec = ZGridCodec.grid_identity(3, bits_per_dim=4)
+    maintainer = SkylineMaintainer(codec)
+    for kind, payload in ops:
+        if kind == "insert":
+            rows, ids = payload
+            maintainer.insert_block(
+                np.asarray(rows, dtype=float),
+                np.asarray(ids, dtype=np.int64),
+            )
+        else:
+            maintainer.delete(payload)
+        maintainer.verify()

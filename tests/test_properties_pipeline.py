@@ -1,0 +1,70 @@
+"""Property-based tests of the full pipeline: routing completeness and
+end-to-end exactness on randomly drawn configurations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import run_plan
+from repro.core.dataset import Dataset
+from repro.core.skyline import is_skyline_of
+from repro.partitioning import get_partitioner
+from repro.partitioning.base import DROPPED, available_partitioners
+from repro.partitioning.sampling import reservoir_sample
+from repro.zorder.encoding import quantize_dataset
+
+PARTITIONERS = st.sampled_from(available_partitioners())
+DISTS = st.sampled_from(["independent", "correlated", "anticorrelated"])
+
+
+@st.composite
+def snapped_dataset(draw):
+    from repro.data.synthetic import generate
+
+    dist = draw(DISTS)
+    n = draw(st.integers(min_value=50, max_value=600))
+    d = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=100))
+    ds = generate(dist, n, d, seed=seed)
+    return quantize_dataset(ds, bits_per_dim=8)
+
+
+@given(snapped_dataset(), PARTITIONERS, st.integers(2, 12))
+@settings(max_examples=25, deadline=None)
+def test_every_point_routed_or_safely_dropped(sc, name, num_groups):
+    snapped, codec = sc
+    sample = reservoir_sample(snapped, ratio=0.2, seed=0)
+    rule = get_partitioner(name).fit(sample, codec, num_groups, seed=0)
+    gids = rule.assign_groups(snapped.points, snapped.ids)
+    assert gids.shape == (snapped.size,)
+    valid = gids[gids != DROPPED]
+    assert (valid >= 0).all()
+    assert (valid < rule.num_groups).all()
+    # Dropping is only ever allowed for dominated points (checked
+    # exhaustively in the dedicated ZDG test; here: never drop a point
+    # that nothing dominates).
+    if (gids == DROPPED).any():
+        from repro.core.skyline import skyline_indices_oracle
+
+        sky = set(skyline_indices_oracle(snapped.points).tolist())
+        dropped_positions = set(np.flatnonzero(gids == DROPPED).tolist())
+        assert not (sky & dropped_positions)
+
+
+@given(
+    st.sampled_from(
+        ["Grid+SB", "Angle+ZS", "Naive-Z+ZS", "ZHG+ZS", "ZDG+ZS+ZM"]
+    ),
+    DISTS,
+    st.integers(0, 50),
+)
+@settings(max_examples=15, deadline=None)
+def test_pipeline_exact_on_random_configs(plan, dist, seed):
+    from repro.data.synthetic import generate
+
+    ds = generate(dist, 400, 3, seed=seed)
+    snapped, _ = quantize_dataset(ds, bits_per_dim=9)
+    report = run_plan(
+        plan, ds, num_groups=6, num_workers=3, bits_per_dim=9, seed=seed
+    )
+    assert is_skyline_of(report.skyline.points, snapped.points)

@@ -1,0 +1,111 @@
+"""Property-based tests: every skyline algorithm agrees with the oracle,
+and Z-merge satisfies its union contract, on arbitrary grid inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bbs import bbs_skyline
+from repro.algorithms.bitstring import bitstring_skyline
+from repro.algorithms.bnl import bnl_skyline
+from repro.algorithms.dnc import dnc_skyline
+from repro.algorithms.salsa import salsa_skyline
+from repro.algorithms.sfs import sort_based_skyline
+from repro.algorithms.zs import zs_skyline
+from repro.core.point import dominates
+from repro.core.skyline import is_skyline_of, skyline_indices_oracle
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.zbtree import build_zbtree
+from repro.zorder.zmerge import zmerge
+from repro.zorder.zsearch import zsearch
+
+
+@st.composite
+def grid_points(draw, max_points=60, max_dims=5, top=16):
+    d = draw(st.integers(min_value=1, max_value=max_dims))
+    n = draw(st.integers(min_value=0, max_value=max_points))
+    rows = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=top - 1),
+                min_size=d,
+                max_size=d,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.asarray(rows, dtype=float).reshape(n, d)
+
+
+ALGORITHMS = [
+    bnl_skyline,
+    sort_based_skyline,
+    dnc_skyline,
+    zs_skyline,
+    bitstring_skyline,
+    bbs_skyline,
+    salsa_skyline,
+]
+
+
+@given(grid_points())
+@settings(max_examples=80, deadline=None)
+def test_all_algorithms_agree_with_oracle(points):
+    for algo in ALGORITHMS:
+        sky, ids = algo(points, None, None)
+        assert is_skyline_of(sky, points)
+        assert sky.shape[0] == ids.shape[0]
+
+
+@given(grid_points())
+@settings(max_examples=80, deadline=None)
+def test_skyline_output_is_dominance_free(points):
+    sky, _ = sort_based_skyline(points, None, None)
+    for i in range(sky.shape[0]):
+        for j in range(sky.shape[0]):
+            if i != j:
+                assert not dominates(sky[i], sky[j])
+
+
+@given(grid_points(max_points=40), grid_points(max_points=40))
+@settings(max_examples=60, deadline=None)
+def test_zmerge_union_contract(a, b):
+    # Harmonise dimensionality (hypothesis draws them independently).
+    d = min(a.shape[1], b.shape[1]) if a.size and b.size else None
+    if d is None or a.shape[0] == 0 or b.shape[0] == 0:
+        return
+    a = a[:, :d]
+    b = b[:, :d]
+    codec = ZGridCodec.grid_identity(d, bits_per_dim=4)
+
+    def sky_tree(pts, offset):
+        tree = build_zbtree(
+            codec, pts, ids=np.arange(len(pts)) + offset, leaf_capacity=4,
+            fanout=3,
+        )
+        sky, ids = zsearch(tree)
+        return build_zbtree(codec, sky, ids=ids, leaf_capacity=4, fanout=3)
+
+    merged = zmerge(sky_tree(a, 0), sky_tree(b, 10_000))
+    assert is_skyline_of(merged.points(), np.vstack([a, b]))
+
+
+@given(grid_points(max_points=50))
+@settings(max_examples=50, deadline=None)
+def test_skyline_idempotent(points):
+    sky1, _ = sort_based_skyline(points, None, None)
+    sky2, _ = sort_based_skyline(sky1, None, None)
+    assert sorted(map(tuple, sky1)) == sorted(map(tuple, sky2))
+
+
+@given(grid_points(max_points=50))
+@settings(max_examples=50, deadline=None)
+def test_adding_dominated_point_never_changes_skyline(points):
+    if points.shape[0] == 0:
+        return
+    worst = points.max(axis=0) + 1.0
+    extended = np.vstack([points, worst[None, :]])
+    sky_before = skyline_indices_oracle(points)
+    sky_after = skyline_indices_oracle(extended)
+    assert sky_before.tolist() == sky_after.tolist()

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the Z-order substrate.
+
+These pin the invariants everything else relies on:
+
+* encode/decode round-trips exactly;
+* Z-order is monotone w.r.t. weak dominance and injective on the grid;
+* RZ-region bounds always cover their generating interval;
+* Lemma 1's full-dominance and incomparability claims are sound;
+* ZB-tree queries agree with brute force.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.point import dominates
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.rzregion import RZRegion
+from repro.zorder.zbtree import build_zbtree
+
+DIMS = st.integers(min_value=1, max_value=6)
+BITS = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def codec_and_grid(draw, max_points=40):
+    d = draw(DIMS)
+    bits = draw(BITS)
+    codec = ZGridCodec.grid_identity(d, bits_per_dim=bits)
+    n = draw(st.integers(min_value=1, max_value=max_points))
+    cells = 1 << bits
+    grid = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=cells - 1),
+                min_size=d,
+                max_size=d,
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return codec, np.asarray(grid, dtype=np.int64)
+
+
+@given(codec_and_grid())
+@settings(max_examples=150, deadline=None)
+def test_encode_decode_roundtrip(cg):
+    codec, grid = cg
+    zs = codec.encode_grid(grid)
+    back = codec.decode_many(zs)
+    assert np.array_equal(back.astype(np.int64), grid)
+
+
+@given(codec_and_grid())
+@settings(max_examples=150, deadline=None)
+def test_monotone_wrt_weak_dominance(cg):
+    codec, grid = cg
+    zs = codec.encode_grid(grid)
+    n = grid.shape[0]
+    for i in range(min(n, 10)):
+        for j in range(min(n, 10)):
+            if np.all(grid[i] <= grid[j]):
+                assert zs[i] <= zs[j]
+
+
+@given(codec_and_grid())
+@settings(max_examples=100, deadline=None)
+def test_injective_on_distinct_grid_points(cg):
+    codec, grid = cg
+    zs = codec.encode_grid(grid)
+    seen = {}
+    for row, z in zip(map(tuple, grid), zs):
+        if z in seen:
+            assert seen[z] == row
+        seen[z] = row
+
+
+@given(codec_and_grid(max_points=2))
+@settings(max_examples=150, deadline=None)
+def test_region_bounds_cover_interval(cg):
+    codec, grid = cg
+    zs = codec.encode_grid(grid)
+    alpha, beta = min(zs), max(zs)
+    minz, maxz = codec.region_bounds(alpha, beta)
+    assert minz <= alpha <= beta <= maxz
+    region = RZRegion(codec, alpha, beta)
+    for row in grid:
+        assert region.contains_grid_point(row)
+
+
+@given(codec_and_grid(max_points=8))
+@settings(max_examples=100, deadline=None)
+def test_lemma1_full_dominance_sound(cg):
+    codec, grid = cg
+    n = grid.shape[0]
+    if n < 4:
+        return
+    zs = codec.encode_grid(grid)
+    half = n // 2
+    ra = RZRegion(codec, min(zs[:half]), max(zs[:half]))
+    rb = RZRegion(codec, min(zs[half:]), max(zs[half:]))
+    if ra.fully_dominates(rb):
+        for a in grid[:half]:
+            for b in grid[half:]:
+                assert dominates(a, b)
+    if ra.incomparable_with(rb):
+        for a in grid[:half]:
+            for b in grid[half:]:
+                assert not dominates(a, b)
+                assert not dominates(b, a)
+
+
+@given(codec_and_grid())
+@settings(max_examples=60, deadline=None)
+def test_zbtree_is_dominated_matches_bruteforce(cg):
+    codec, grid = cg
+    pts = grid.astype(float)
+    tree = build_zbtree(codec, pts, leaf_capacity=4, fanout=3)
+    tree.validate()
+    probe = pts[0]
+    expected = any(dominates(row, probe) for row in pts)
+    assert tree.is_dominated(probe) == expected
+
+
+@given(codec_and_grid())
+@settings(max_examples=60, deadline=None)
+def test_zbtree_remove_dominated_matches_bruteforce(cg):
+    codec, grid = cg
+    pts = grid.astype(float)
+    tree = build_zbtree(codec, pts, leaf_capacity=4, fanout=3)
+    pivot = pts[-1]
+    expected_removed = sum(1 for row in pts if dominates(pivot, row))
+    assert tree.remove_dominated_by(pivot) == expected_removed

@@ -1,0 +1,60 @@
+"""Tests for the distributed dominance-score ranking job."""
+
+import numpy as np
+import pytest
+
+from repro import run_plan
+from repro.data.synthetic import independent
+from repro.extensions.ranking import dominance_scores
+from repro.pipeline.ranking_job import distributed_dominance_scores
+from repro.zorder.encoding import quantize_dataset
+
+
+class TestDistributedRanking:
+    def setup_run(self, n=3000, d=4, seed=41):
+        ds = independent(n, d, seed=seed)
+        snapped, _ = quantize_dataset(ds, bits_per_dim=10)
+        report = run_plan(
+            "ZDG+ZS+ZM", ds, num_groups=8, num_workers=4,
+            bits_per_dim=10, seed=0,
+        )
+        return snapped, report
+
+    def test_matches_centralized_scores(self):
+        snapped, report = self.setup_run()
+        ids, scores, _result = distributed_dominance_scores(
+            snapped, report.skyline.points, report.skyline.ids,
+            num_workers=4,
+        )
+        central = dominance_scores(report.skyline.points, snapped.points)
+        by_id_central = dict(
+            zip(report.skyline.ids.tolist(), central.tolist())
+        )
+        by_id_distributed = dict(zip(ids.tolist(), scores.tolist()))
+        assert by_id_central == by_id_distributed
+
+    def test_best_first_ordering(self):
+        snapped, report = self.setup_run(seed=42)
+        _ids, scores, _result = distributed_dominance_scores(
+            snapped, report.skyline.points, report.skyline.ids,
+            num_workers=4,
+        )
+        assert np.all(np.diff(scores) <= 0)
+
+    def test_work_spread_over_workers(self):
+        snapped, report = self.setup_run(seed=43)
+        _ids, _scores, result = distributed_dominance_scores(
+            snapped, report.skyline.points, report.skyline.ids,
+            num_workers=4,
+        )
+        busy = [w for w in result.map_metrics.ledgers if w.tasks > 0]
+        assert len(busy) == 4
+
+    def test_scores_bounded_by_dataset_size(self):
+        snapped, report = self.setup_run(seed=44)
+        _ids, scores, _ = distributed_dominance_scores(
+            snapped, report.skyline.points, report.skyline.ids,
+            num_workers=2,
+        )
+        assert scores.max() <= snapped.size
+        assert scores.min() >= 0

@@ -1,0 +1,153 @@
+"""Unit tests for the R-tree substrate and the BBS skyline baseline."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bbs import bbs_over_tree, bbs_skyline
+from repro.core.exceptions import ReproError
+from repro.core.skyline import is_skyline_of
+from repro.rtree import MBR, RTree, bulk_load_str
+from repro.zorder.zbtree import OpCounter
+
+
+class TestMBR:
+    def test_construction_and_validation(self):
+        box = MBR([0.0, 0.0], [2.0, 3.0])
+        assert box.dimensions == 2
+        assert box.area() == 6.0
+        with pytest.raises(ReproError):
+            MBR([1.0], [0.0])
+        with pytest.raises(ReproError):
+            MBR([0.0, 0.0], [1.0])
+
+    def test_of_points(self):
+        box = MBR.of_points(np.array([[1.0, 5.0], [3.0, 2.0]]))
+        assert box.lower.tolist() == [1.0, 2.0]
+        assert box.upper.tolist() == [3.0, 5.0]
+        with pytest.raises(ReproError):
+            MBR.of_points(np.empty((0, 2)))
+
+    def test_union(self):
+        a = MBR([0.0, 0.0], [1.0, 1.0])
+        b = MBR([2.0, -1.0], [3.0, 0.5])
+        u = MBR.union([a, b])
+        assert u.lower.tolist() == [0.0, -1.0]
+        assert u.upper.tolist() == [3.0, 1.0]
+        with pytest.raises(ReproError):
+            MBR.union([])
+
+    def test_contains_and_intersects(self):
+        box = MBR([0.0, 0.0], [2.0, 2.0])
+        assert box.contains_point([1.0, 1.0])
+        assert not box.contains_point([3.0, 1.0])
+        assert box.intersects(MBR([1.0, 1.0], [5.0, 5.0]))
+        assert not box.intersects(MBR([3.0, 3.0], [5.0, 5.0]))
+
+    def test_mindist_key(self):
+        assert MBR([1.0, 2.0], [9.0, 9.0]).mindist_key() == 3.0
+
+    def test_all_points_dominated_by(self):
+        box = MBR([2.0, 2.0], [4.0, 4.0])
+        assert box.all_points_dominated_by(np.array([1.0, 1.0]))
+        assert not box.all_points_dominated_by(np.array([2.0, 2.0]))
+
+
+class TestBulkLoad:
+    def make(self, n=300, d=3, seed=0, **kwargs):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, d)) * 100
+        return bulk_load_str(pts, **kwargs), pts
+
+    def test_structure_valid(self):
+        tree, pts = self.make()
+        tree.validate()
+        assert tree.size == 300
+        assert tree.dimensions == 3
+
+    def test_empty(self):
+        tree = bulk_load_str(np.empty((0, 2)))
+        assert tree.is_empty
+        assert tree.height() == 0
+        tree.validate()
+
+    def test_leaf_capacity_respected(self):
+        tree, _ = self.make(leaf_capacity=8, fanout=4)
+        for leaf in tree.leaves():
+            assert leaf.size <= 8
+        tree.validate()
+
+    def test_all_points_present(self):
+        tree, pts = self.make(n=150)
+        collected = np.vstack([leaf.points for leaf in tree.leaves()])
+        assert collected.shape == pts.shape
+        assert sorted(map(tuple, collected)) == sorted(map(tuple, pts))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ReproError):
+            bulk_load_str(np.zeros((3, 2)), leaf_capacity=1)
+        with pytest.raises(ReproError):
+            bulk_load_str(np.zeros(3))
+        with pytest.raises(ReproError):
+            bulk_load_str(np.zeros((3, 2)), ids=np.array([1]))
+
+    def test_range_query_matches_bruteforce(self):
+        tree, pts = self.make(n=400, seed=3)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            lo = rng.random(3) * 60
+            hi = lo + rng.random(3) * 40
+            box = MBR(lo, hi)
+            expected = np.flatnonzero(
+                np.all((lo <= pts) & (pts <= hi), axis=1)
+            )
+            got = tree.range_query(box)
+            assert got.tolist() == expected.tolist()
+
+    def test_range_query_empty_tree(self):
+        tree = bulk_load_str(np.empty((0, 2)))
+        assert tree.range_query(MBR([0.0, 0.0], [1.0, 1.0])).size == 0
+
+
+class TestBBS:
+    def test_matches_oracle_random(self):
+        rng = np.random.default_rng(7)
+        for d in (1, 2, 4, 6):
+            pts = rng.integers(0, 16, (150, d)).astype(float)
+            sky, ids = bbs_skyline(pts, None, None)
+            assert is_skyline_of(sky, pts)
+            for point, pid in zip(sky, ids):
+                assert np.array_equal(pts[pid], point)
+
+    def test_empty_input(self):
+        sky, ids = bbs_skyline(np.empty((0, 3)), None, None)
+        assert sky.shape[0] == 0
+
+    def test_progressive_order(self):
+        # BBS reports skyline points in ascending coordinate sum.
+        rng = np.random.default_rng(8)
+        pts = rng.integers(0, 32, (200, 3)).astype(float)
+        sky, _ = bbs_skyline(pts, None, None)
+        sums = sky.sum(axis=1)
+        assert np.all(np.diff(sums) >= 0)
+
+    def test_pruning_beats_quadratic(self):
+        # Correlated chain: one dominator; BBS should touch few points.
+        pts = np.vstack([np.zeros((1, 3)), np.ones((500, 3)) * 9])
+        counter = OpCounter()
+        sky, _ = bbs_skyline(pts, None, counter)
+        assert sky.shape[0] == 1
+        assert counter.point_tests < 2000
+
+    def test_over_prebuilt_tree(self):
+        rng = np.random.default_rng(9)
+        pts = rng.integers(0, 16, (120, 3)).astype(float)
+        tree = bulk_load_str(pts)
+        sky, _ = bbs_over_tree(tree)
+        assert is_skyline_of(sky, pts)
+
+    def test_registered_in_registry_and_plans(self):
+        from repro.algorithms.registry import get_algorithm
+        from repro.pipeline.plans import parse_plan
+
+        assert get_algorithm("BBS") is bbs_skyline
+        assert parse_plan("Grid+BBS").local_algorithm == "BBS"

@@ -1,0 +1,99 @@
+"""Unit tests for SaLSa and progressive BBS."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bbs import bbs_progressive
+from repro.algorithms.salsa import salsa_skyline
+from repro.core.skyline import is_skyline_of, skyline_indices_oracle
+from repro.data.synthetic import anticorrelated, correlated
+from repro.rtree import bulk_load_str
+from repro.zorder.zbtree import OpCounter
+
+
+class TestSalsa:
+    def test_matches_oracle_random(self):
+        rng = np.random.default_rng(1)
+        for d in (1, 2, 4, 6):
+            pts = rng.integers(0, 16, (150, d)).astype(float)
+            sky, ids = salsa_skyline(pts, None, None)
+            assert is_skyline_of(sky, pts)
+            for point, pid in zip(sky, ids):
+                assert np.array_equal(pts[pid], point)
+
+    def test_empty_input(self):
+        sky, ids = salsa_skyline(np.empty((0, 3)), None, None)
+        assert sky.shape[0] == 0
+
+    def test_duplicates_kept(self):
+        pts = np.array([[2.0, 2.0], [2.0, 2.0], [3.0, 3.0]])
+        sky, _ = salsa_skyline(pts, None, None)
+        assert sky.shape[0] == 2
+
+    def test_early_termination_on_correlated_data(self):
+        ds = correlated(3000, 4, seed=2)
+        counter = OpCounter()
+        sky, _ = salsa_skyline(ds.points, None, counter)
+        assert is_skyline_of(sky, ds.points)
+        # nodes_visited counts points actually read: far fewer than n.
+        assert counter.nodes_visited < 3000
+
+    def test_no_early_exit_on_anticorrelated_data(self):
+        ds = anticorrelated(500, 4, seed=3)
+        counter = OpCounter()
+        sky, _ = salsa_skyline(ds.points, None, counter)
+        assert is_skyline_of(sky, ds.points)
+
+    def test_registered(self):
+        from repro.algorithms.registry import get_algorithm
+        from repro.pipeline.plans import parse_plan
+
+        assert get_algorithm("SALSA") is salsa_skyline
+        assert parse_plan("ZDG+SALSA").local_algorithm == "SALSA"
+
+    def test_stop_point_correctness_edge(self):
+        # A point whose min equals the threshold must still be read
+        # (strict inequality required to stop).
+        pts = np.array([[0.0, 2.0], [2.0, 2.0], [2.0, 1.0]])
+        sky, _ = salsa_skyline(pts, None, None)
+        assert is_skyline_of(sky, pts)
+
+
+class TestProgressiveBBS:
+    def test_yields_full_skyline(self):
+        rng = np.random.default_rng(4)
+        pts = rng.integers(0, 16, (200, 3)).astype(float)
+        tree = bulk_load_str(pts)
+        got = list(bbs_progressive(tree))
+        expected = skyline_indices_oracle(pts)
+        assert sorted(pid for _, pid in got) == expected.tolist()
+
+    def test_yields_in_sum_order(self):
+        rng = np.random.default_rng(5)
+        pts = rng.integers(0, 16, (200, 3)).astype(float)
+        tree = bulk_load_str(pts)
+        sums = [float(p.sum()) for p, _ in bbs_progressive(tree)]
+        assert sums == sorted(sums)
+
+    def test_first_result_is_cheap(self):
+        # Progressive: the first skyline point arrives after touching a
+        # small fraction of the tree.
+        rng = np.random.default_rng(6)
+        pts = rng.random((5000, 3)) * 100
+        tree = bulk_load_str(pts)
+        counter = OpCounter()
+        gen = bbs_progressive(tree, counter)
+        next(gen)
+        assert counter.nodes_visited < 2500
+
+    def test_empty_tree(self):
+        tree = bulk_load_str(np.empty((0, 2)))
+        assert list(bbs_progressive(tree)) == []
+
+    def test_partial_consumption_is_valid_prefix(self):
+        rng = np.random.default_rng(7)
+        pts = rng.integers(0, 16, (150, 3)).astype(float)
+        tree = bulk_load_str(pts)
+        first_three = [pid for _, pid in bbs_progressive(tree)][:3]
+        all_of_them = [pid for _, pid in bbs_progressive(tree)]
+        assert all_of_them[:3] == first_three

@@ -1,0 +1,197 @@
+"""Unit tests for rule/report serialisation and cardinality estimation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import run_plan
+from repro.analysis.cardinality import (
+    capture_recapture_estimate,
+    harmonic_estimate,
+    sample_scaling_estimate,
+)
+from repro.core.exceptions import ConfigurationError, DatasetError
+from repro.core.skyline import skyline_indices_oracle
+from repro.data.synthetic import anticorrelated, correlated, independent
+from repro.partitioning import get_partitioner, reservoir_sample
+from repro.pipeline.serialization import (
+    codec_from_dict,
+    codec_to_dict,
+    report_to_dict,
+    report_to_json,
+    rule_from_dict,
+    rule_from_json,
+    rule_to_dict,
+    rule_to_json,
+)
+from repro.zorder.encoding import ZGridCodec, quantize_dataset
+
+
+def fitted_rule(name, num_groups=8):
+    ds = independent(1200, 4, seed=2)
+    snapped, codec = quantize_dataset(ds, bits_per_dim=8)
+    sample = reservoir_sample(snapped, ratio=0.1, seed=0)
+    rule = get_partitioner(name).fit(sample, codec, num_groups)
+    return rule, snapped, codec
+
+
+class TestCodecSerialisation:
+    def test_roundtrip(self):
+        codec = ZGridCodec([0.0, -5.0], [1.0, 5.0], bits_per_dim=9)
+        back = codec_from_dict(codec_to_dict(codec))
+        assert back.bits_per_dim == 9
+        pts = np.array([[0.3, -2.0], [0.9, 4.9]])
+        assert np.array_equal(back.quantize(pts), codec.quantize(pts))
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "random", "grid", "angle", "naive-z", "zhg", "zdg",
+        "kdtree", "grid-grouped", "angle-grouped",
+    ],
+)
+class TestRuleRoundTrip:
+    def test_same_assignment_after_roundtrip(self, name):
+        rule, snapped, codec = fitted_rule(name)
+        back = rule_from_json(rule_to_json(rule))
+        original = rule.assign_groups(snapped.points, snapped.ids)
+        restored = back.assign_groups(snapped.points, snapped.ids)
+        assert np.array_equal(original, restored)
+
+    def test_json_is_plain_text(self, name):
+        rule, _, _ = fitted_rule(name)
+        payload = rule_to_json(rule)
+        parsed = json.loads(payload)
+        assert parsed["version"] == 1
+
+
+class TestRuleErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            rule_from_dict({"version": 1, "kind": "quadtree"})
+
+    def test_wrong_version(self):
+        with pytest.raises(ConfigurationError):
+            rule_from_dict({"version": 99, "kind": "random"})
+
+    def test_unserialisable_rule(self):
+        class Fake:
+            pass
+
+        with pytest.raises(ConfigurationError):
+            rule_to_dict(Fake())  # type: ignore[arg-type]
+
+
+class TestReportSerialisation:
+    def test_report_to_json(self):
+        ds = independent(500, 3, seed=1)
+        report = run_plan(
+            "ZHG+ZS", ds, num_groups=4, num_workers=2, seed=0
+        )
+        payload = json.loads(report_to_json(report))
+        assert payload["plan"] == "ZHG+ZS"
+        assert payload["summary"]["skyline"] == report.skyline_size
+        assert len(payload["skyline_ids"]) == report.skyline_size
+        assert "phase1" in payload["counters"]
+
+    def test_report_dict_is_json_safe(self):
+        ds = independent(400, 3, seed=2)
+        report = run_plan(
+            "Grid+SB", ds, num_groups=4, num_workers=2, seed=0
+        )
+        json.dumps(report_to_dict(report))  # must not raise
+
+
+class TestExactRecurrence:
+    def test_one_dimension_is_one(self):
+        from repro.analysis.cardinality import expected_skyline_size_exact
+
+        assert expected_skyline_size_exact(1000, 1) == 1.0
+
+    def test_two_dimensions_is_harmonic_number(self):
+        from repro.analysis.cardinality import expected_skyline_size_exact
+
+        n = 100
+        h_n = sum(1.0 / j for j in range(1, n + 1))
+        assert expected_skyline_size_exact(n, 2) == pytest.approx(h_n)
+
+    def test_matches_empirical_mean(self):
+        from repro.analysis.cardinality import expected_skyline_size_exact
+
+        n, d, trials = 300, 3, 30
+        rng = np.random.default_rng(7)
+        sizes = [
+            len(skyline_indices_oracle(rng.random((n, d))))
+            for _ in range(trials)
+        ]
+        expected = expected_skyline_size_exact(n, d)
+        assert abs(np.mean(sizes) - expected) < 4 * np.std(sizes)
+
+    def test_monotone_in_dimension(self):
+        from repro.analysis.cardinality import expected_skyline_size_exact
+
+        values = [
+            expected_skyline_size_exact(500, d) for d in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        from repro.analysis.cardinality import expected_skyline_size_exact
+
+        with pytest.raises(DatasetError):
+            expected_skyline_size_exact(0, 2)
+
+
+class TestHarmonicEstimate:
+    def test_one_dimension(self):
+        assert harmonic_estimate(1000, 1) == 1.0
+
+    def test_grows_with_dimension(self):
+        values = [harmonic_estimate(100_000, d) for d in (2, 3, 4, 5)]
+        assert values == sorted(values)
+
+    def test_never_exceeds_n(self):
+        assert harmonic_estimate(10, 50) <= 10
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            harmonic_estimate(0, 3)
+
+    def test_roughly_matches_independent_data(self):
+        ds = independent(5000, 3, seed=3)
+        actual = len(skyline_indices_oracle(ds.points))
+        predicted = harmonic_estimate(5000, 3)
+        assert 0.25 < predicted / actual < 4.0
+
+
+class TestSamplingEstimators:
+    def test_sample_scaling_on_independent(self):
+        ds = independent(5000, 3, seed=4)
+        actual = len(skyline_indices_oracle(ds.points))
+        estimate = sample_scaling_estimate(ds, sample_ratio=0.1, seed=0)
+        assert 0.25 < estimate / actual < 4.0
+
+    def test_sample_scaling_validation(self):
+        ds = independent(100, 2, seed=0)
+        with pytest.raises(DatasetError):
+            sample_scaling_estimate(ds, sample_ratio=0.0)
+
+    def test_capture_recapture_on_anticorrelated(self):
+        # Anti-correlated skylines are huge; the distribution-free
+        # estimator should land within a small factor.
+        ds = anticorrelated(3000, 4, seed=5)
+        actual = len(skyline_indices_oracle(ds.points))
+        estimate = capture_recapture_estimate(ds, sample_ratio=0.15, seed=0)
+        assert 0.2 < estimate / actual < 5.0
+
+    def test_capture_recapture_validation(self):
+        ds = independent(100, 2, seed=0)
+        with pytest.raises(DatasetError):
+            capture_recapture_estimate(ds, sample_ratio=0.9)
+
+    def test_estimators_bounded_by_n(self):
+        ds = correlated(500, 3, seed=6)
+        assert sample_scaling_estimate(ds) <= 500
+        assert capture_recapture_estimate(ds) <= 500

@@ -1,0 +1,79 @@
+"""Integration test of the full user journey:
+
+CSV import -> orientation -> analysis/advice -> distributed run ->
+ranking -> why-not -> serialisation.  Exercises the same path as the
+portfolio example end to end with assertions at each step.
+"""
+
+import json
+
+import numpy as np
+
+from repro import SkylineEngine, EngineConfig, advise
+from repro.core.dataset import Dataset
+from repro.core.skyline import is_skyline_of
+from repro.data.io import load_csv, save_csv
+from repro.extensions import rank_skyline, why_not
+from repro.pipeline.serialization import report_to_json
+from repro.zorder.encoding import quantize_dataset
+
+
+def test_full_journey(tmp_path):
+    rng = np.random.default_rng(99)
+    # Mixed-direction raw data: (cost-min, quality-max, delay-min).
+    raw = np.column_stack(
+        [
+            rng.gamma(2.0, 5.0, 800),
+            rng.normal(60, 15, 800),
+            rng.exponential(3.0, 800),
+        ]
+    )
+    original = Dataset(raw, name="suppliers")
+
+    # 1. Round-trip through CSV.
+    path = str(tmp_path / "suppliers.csv")
+    save_csv(original, path, column_names=["cost", "quality", "delay"])
+    loaded = load_csv(path)
+    assert np.array_equal(loaded.points, original.points)
+
+    # 2. Orient maximised columns.
+    oriented = loaded.oriented(["min", "max", "min"])
+    assert oriented.points[:, 1].min() == 0.0
+
+    # 3. Ask the advisor, then run its recommendation.
+    advice = advise(oriented, num_workers=4, seed=0)
+    config = EngineConfig(
+        plan=advice.plan, num_groups=advice.num_groups, num_workers=4,
+        bits_per_dim=10, seed=0,
+    )
+    report = SkylineEngine(config).run(oriented)
+
+    # 4. The distributed result is exact.
+    snapped, _ = quantize_dataset(oriented, bits_per_dim=10)
+    assert is_skyline_of(report.skyline.points, snapped.points)
+
+    # 5. Rank the shortlist and sanity-check the scores.
+    _, ranked_ids, scores = rank_skyline(
+        report.skyline.points, report.skyline.ids, snapped.points,
+        method="dominance",
+    )
+    assert np.all(np.diff(scores) <= 0)
+    assert scores[0] <= snapped.size
+
+    # 6. Why-not for a non-member traces to real dominators.
+    member_ids = set(report.skyline.ids.tolist())
+    loser = next(int(i) for i in snapped.ids if int(i) not in member_ids)
+    explanation = why_not(snapped.points[loser], snapped.points,
+                          snapped.ids)
+    assert not explanation.is_skyline_member
+    assert explanation.num_dominators > 0
+    assert set(explanation.dominator_ids.tolist()) <= set(
+        snapped.ids.tolist()
+    )
+
+    # 7. The run serialises to JSON for logging.
+    payload = json.loads(report_to_json(report))
+    assert payload["summary"]["skyline"] == report.skyline_size
+    assert sorted(payload["skyline_ids"]) == sorted(
+        report.skyline.ids.tolist()
+    )

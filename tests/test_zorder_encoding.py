@@ -1,0 +1,151 @@
+"""Unit tests for Z-address encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ZOrderError
+from repro.zorder.encoding import ZGridCodec, quantize_dataset
+
+
+class TestConstruction:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ZOrderError):
+            ZGridCodec([0.0, 0.0], [1.0])
+        with pytest.raises(ZOrderError):
+            ZGridCodec([1.0], [0.0])
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ZOrderError):
+            ZGridCodec([0.0], [1.0], bits_per_dim=0)
+        with pytest.raises(ZOrderError):
+            ZGridCodec([0.0], [1.0], bits_per_dim=33)
+
+    def test_total_bits(self):
+        codec = ZGridCodec.unit_cube(3, bits_per_dim=5)
+        assert codec.total_bits == 15
+        assert codec.max_zaddress == 2**15 - 1
+
+
+class TestQuantize:
+    def test_corners_map_to_grid_corners(self):
+        codec = ZGridCodec.unit_cube(2, bits_per_dim=4)
+        assert codec.quantize(np.array([0.0, 0.0])).tolist() == [0, 0]
+        # The upper bound clips into the last cell.
+        assert codec.quantize(np.array([1.0, 1.0])).tolist() == [15, 15]
+
+    def test_out_of_box_points_clip(self):
+        codec = ZGridCodec.unit_cube(2, bits_per_dim=4)
+        assert codec.quantize(np.array([-5.0, 7.0])).tolist() == [0, 15]
+
+    def test_monotone(self):
+        codec = ZGridCodec.unit_cube(3, bits_per_dim=8)
+        rng = np.random.default_rng(5)
+        p = rng.random((50, 3))
+        q = p + rng.random((50, 3)) * 0.1  # q >= p componentwise
+        gp = codec.quantize(np.clip(p, 0, 1))
+        gq = codec.quantize(np.clip(q, 0, 1))
+        assert np.all(gp <= gq)
+
+    def test_wrong_dimensionality_rejected(self):
+        codec = ZGridCodec.unit_cube(3)
+        with pytest.raises(ZOrderError):
+            codec.quantize(np.zeros((4, 2)))
+
+    def test_constant_dimension_maps_to_zero(self):
+        codec = ZGridCodec([0.0, 5.0], [1.0, 5.0], bits_per_dim=4)
+        g = codec.quantize(np.array([[0.5, 5.0]]))
+        assert g[0, 1] == 0
+
+    def test_dequantize_returns_cell_lower_corner(self):
+        codec = ZGridCodec([0.0], [16.0], bits_per_dim=4)
+        assert codec.dequantize(np.array([3]))[0] == 3.0
+
+
+class TestEncodeDecode:
+    def test_known_2d_interleave(self):
+        # 2 bits/dim, point (x=0b10, y=0b01): level-major, dim0 first:
+        # bits = x1 y1 x0 y0 = 1 0 0 1 = 9
+        codec = ZGridCodec.grid_identity(2, bits_per_dim=2)
+        assert codec.encode_grid(np.array([[0b10, 0b01]]))[0] == 0b1001
+
+    def test_roundtrip_various_dims(self):
+        rng = np.random.default_rng(6)
+        for d in (1, 2, 3, 7, 30, 100):
+            codec = ZGridCodec.grid_identity(d, bits_per_dim=7)
+            grid = rng.integers(0, 2**7, (20, d))
+            zs = codec.encode_grid(grid)
+            back = codec.decode_many(zs)
+            assert np.array_equal(back, grid.astype(np.uint32))
+
+    def test_z_order_monotone_wrt_dominance(self):
+        codec = ZGridCodec.grid_identity(4, bits_per_dim=6)
+        rng = np.random.default_rng(8)
+        g = rng.integers(0, 64, (100, 4))
+        delta = rng.integers(0, 5, (100, 4))
+        g2 = np.minimum(g + delta, 63)  # g2 >= g componentwise
+        z1 = codec.encode_grid(g)
+        z2 = codec.encode_grid(g2)
+        assert all(a <= b for a, b in zip(z1, z2))
+
+    def test_encode_is_injective_on_grid(self):
+        codec = ZGridCodec.grid_identity(2, bits_per_dim=3)
+        all_points = np.array(
+            [[x, y] for x in range(8) for y in range(8)]
+        )
+        zs = codec.encode_grid(all_points)
+        assert len(set(zs)) == 64
+
+    def test_out_of_range_grid_rejected(self):
+        codec = ZGridCodec.grid_identity(2, bits_per_dim=3)
+        with pytest.raises(ZOrderError):
+            codec.encode_grid(np.array([[8, 0]]))
+
+    def test_decode_out_of_range_rejected(self):
+        codec = ZGridCodec.grid_identity(2, bits_per_dim=3)
+        with pytest.raises(ZOrderError):
+            codec.decode_to_grid(1 << 6)
+
+    def test_encode_one_matches_encode(self):
+        codec = ZGridCodec.unit_cube(3, bits_per_dim=5)
+        p = np.array([0.3, 0.6, 0.9])
+        assert codec.encode_one(p) == codec.encode(p[None, :])[0]
+
+
+class TestPrefixArithmetic:
+    def test_common_prefix_length(self):
+        codec = ZGridCodec.grid_identity(1, bits_per_dim=8)
+        assert codec.common_prefix_length(0b10110000, 0b10111111) == 4
+        assert codec.common_prefix_length(5, 5) == 8
+        assert codec.common_prefix_length(0, 0b10000000) == 0
+
+    def test_region_bounds_paper_example(self):
+        # Paper §3.2: addresses 10110, 10011, 10010 share prefix "10";
+        # minpt = 10000, maxpt = 10111.
+        codec = ZGridCodec.grid_identity(1, bits_per_dim=5)
+        minz, maxz = codec.region_bounds(0b10010, 0b10110)
+        assert minz == 0b10000
+        assert maxz == 0b10111
+
+    def test_region_bounds_equal_addresses(self):
+        codec = ZGridCodec.grid_identity(1, bits_per_dim=5)
+        assert codec.region_bounds(7, 7) == (7, 7)
+
+    def test_region_bounds_order_insensitive(self):
+        codec = ZGridCodec.grid_identity(1, bits_per_dim=5)
+        assert codec.region_bounds(3, 9) == codec.region_bounds(9, 3)
+
+
+class TestQuantizeDataset:
+    def test_snapped_values_are_integers(self):
+        ds = Dataset(np.random.default_rng(0).random((50, 3)))
+        snapped, codec = quantize_dataset(ds, bits_per_dim=6)
+        assert np.array_equal(snapped.points, np.floor(snapped.points))
+        assert snapped.points.max() < 64
+        assert snapped.ids.tolist() == ds.ids.tolist()
+
+    def test_identity_codec_is_identity_on_snapped(self):
+        ds = Dataset(np.random.default_rng(1).random((50, 3)))
+        snapped, codec = quantize_dataset(ds, bits_per_dim=6)
+        again = codec.quantize(snapped.points)
+        assert np.array_equal(again.astype(float), snapped.points)

@@ -1,0 +1,182 @@
+"""Unit tests for RZ-regions and Lemma 1."""
+
+import numpy as np
+import pytest
+
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.rzregion import RegionRelation, RZRegion, dominance_volume
+
+
+@pytest.fixture
+def codec() -> ZGridCodec:
+    return ZGridCodec.grid_identity(2, bits_per_dim=4)
+
+
+def region_from_grid(codec: ZGridCodec, a, b) -> RZRegion:
+    za, zb = codec.encode_grid(np.array([a, b]))
+    return RZRegion(codec, za, zb)
+
+
+class TestCorners:
+    def test_single_point_region(self, codec):
+        r = region_from_grid(codec, [5, 7], [5, 7])
+        assert r.minpt.tolist() == [5, 7]
+        assert r.maxpt.tolist() == [5, 7]
+        assert r.minz == r.maxz
+
+    def test_region_covers_inputs(self, codec):
+        r = region_from_grid(codec, [2, 3], [4, 1])
+        assert r.contains_grid_point([2, 3])
+        assert r.contains_grid_point([4, 1])
+
+    def test_region_is_prefix_aligned(self, codec):
+        r = region_from_grid(codec, [2, 3], [4, 1])
+        # min/max corners correspond to prefix + all-zeros / all-ones.
+        span_bits = (r.maxz - r.minz + 1).bit_length() - 1
+        assert r.maxz - r.minz == (1 << span_bits) - 1
+        assert r.minz % (1 << span_bits) == 0
+
+    def test_from_corners_skips_decode(self, codec):
+        base = region_from_grid(codec, [1, 1], [2, 2])
+        clone = RZRegion.from_corners(
+            base.minz, base.maxz, base.minpt, base.maxpt
+        )
+        assert clone.minpt.tolist() == base.minpt.tolist()
+        assert clone.maxz == base.maxz
+
+
+class TestLemma1:
+    def test_full_dominance(self, codec):
+        # Region entirely below-left of the other.
+        low = region_from_grid(codec, [0, 0], [1, 1])
+        high = region_from_grid(codec, [8, 8], [9, 9])
+        assert low.relation_to(high) is RegionRelation.FULLY_DOMINATES
+        assert low.fully_dominates(high)
+        assert not high.fully_dominates(low)
+
+    def test_incomparable(self, codec):
+        a = region_from_grid(codec, [0, 8], [1, 9])
+        b = region_from_grid(codec, [8, 0], [9, 1])
+        assert a.relation_to(b) is RegionRelation.INCOMPARABLE
+        assert a.incomparable_with(b)
+        assert b.incomparable_with(a)
+
+    def test_partial_dominance(self, codec):
+        a = region_from_grid(codec, [0, 0], [3, 3])
+        b = region_from_grid(codec, [2, 2], [5, 5])
+        rel = a.relation_to(b)
+        assert rel is RegionRelation.PARTIALLY_DOMINATES
+        assert a.may_dominate(b)
+        assert not a.fully_dominates(b)
+
+    def test_region_does_not_dominate_itself(self, codec):
+        a = region_from_grid(codec, [1, 1], [2, 2])
+        assert not a.fully_dominates(a)
+
+    def test_touching_corners_not_full_dominance(self, codec):
+        # maxpt of a equals minpt of b: equality is not dominance.
+        a = region_from_grid(codec, [0, 0], [3, 3])
+        b = region_from_grid(codec, [3, 3], [3, 3])
+        assert a.maxpt.tolist() == b.minpt.tolist()
+        assert not a.fully_dominates(b)
+
+    def test_full_dominance_is_sound(self, codec):
+        # Every point pair across fully dominating regions dominates.
+        from repro.core.point import dominates
+
+        low = region_from_grid(codec, [0, 0], [1, 1])
+        high = region_from_grid(codec, [4, 4], [5, 5])
+        assert low.fully_dominates(high)
+        for ax in range(int(low.minpt[0]), int(low.maxpt[0]) + 1):
+            for ay in range(int(low.minpt[1]), int(low.maxpt[1]) + 1):
+                for bx in range(int(high.minpt[0]), int(high.maxpt[0]) + 1):
+                    for by in range(int(high.minpt[1]), int(high.maxpt[1]) + 1):
+                        assert dominates([ax, ay], [bx, by])
+
+    def test_incomparable_is_sound(self, codec):
+        from repro.core.point import dominates
+
+        a = region_from_grid(codec, [0, 8], [1, 9])
+        b = region_from_grid(codec, [8, 0], [9, 1])
+        assert a.incomparable_with(b)
+        pts_a = [
+            [x, y]
+            for x in range(int(a.minpt[0]), int(a.maxpt[0]) + 1)
+            for y in range(int(a.minpt[1]), int(a.maxpt[1]) + 1)
+        ]
+        pts_b = [
+            [x, y]
+            for x in range(int(b.minpt[0]), int(b.maxpt[0]) + 1)
+            for y in range(int(b.minpt[1]), int(b.maxpt[1]) + 1)
+        ]
+        for pa in pts_a:
+            for pb in pts_b:
+                assert not dominates(pa, pb)
+                assert not dominates(pb, pa)
+
+
+class TestPointHelpers:
+    def test_may_contain_dominator_of(self, codec):
+        r = region_from_grid(codec, [2, 2], [3, 3])
+        assert r.may_contain_dominator_of(np.array([9, 9]))
+        assert not r.may_contain_dominator_of(np.array([0, 0]))
+        # minpt itself cannot be dominated by a region point.
+        assert not r.may_contain_dominator_of(r.minpt)
+
+    def test_all_points_dominated_by(self, codec):
+        r = region_from_grid(codec, [4, 4], [5, 5])
+        assert r.all_points_dominated_by(np.array([1, 1]))
+        assert not r.all_points_dominated_by(np.array([4, 4]))
+
+    def test_may_contain_point_dominated_by(self, codec):
+        r = region_from_grid(codec, [4, 4], [5, 5])
+        assert r.may_contain_point_dominated_by(np.array([4, 4]))
+        assert not r.may_contain_point_dominated_by(np.array([9, 0]))
+
+    def test_contains_zaddress(self, codec):
+        r = region_from_grid(codec, [2, 2], [3, 3])
+        assert r.contains_zaddress(r.minz)
+        assert r.contains_zaddress(r.maxz)
+        assert not r.contains_zaddress(r.maxz + 1)
+
+    def test_volume(self, codec):
+        r = region_from_grid(codec, [2, 2], [3, 3])
+        assert r.volume() == 4.0
+
+
+class TestDominanceVolume:
+    def test_commutative(self, codec):
+        a = region_from_grid(codec, [0, 0], [3, 3])
+        b = region_from_grid(codec, [4, 8], [7, 11])
+        assert dominance_volume(a, b) == dominance_volume(b, a)
+
+    def test_self_volume_zero(self, codec):
+        a = region_from_grid(codec, [0, 0], [3, 3])
+        assert dominance_volume(a, a) == 0.0
+
+    def test_known_values(self, codec):
+        # V_dom is the volume of the partner region's sub-box lying
+        # beyond the other's max corner (per dimension: largest minus
+        # second-largest of the four corner coordinates).  Boxes are
+        # pinned exactly with from_corners (prefix alignment would widen
+        # them otherwise).
+        def box(lo, hi):
+            return RZRegion.from_corners(0, 0, np.array(lo), np.array(hi))
+
+        a = box([0, 0], [3, 3])
+        overlapping = box([2, 2], [5, 5])
+        small_far = box([4, 4], [5, 5])
+        # Beyond maxpt(a)=(3,3): [3,5]^2 has volume 4; [4,5]^2 only 1.
+        assert dominance_volume(a, overlapping) == 4.0
+        assert dominance_volume(a, small_far) == 1.0
+
+    def test_example3_bigger_dominated_box_bigger_volume(self, codec):
+        # Example 3's intuition: the partition whose region offers the
+        # larger dominated sub-box should be grouped with the dominator.
+        def box(lo, hi):
+            return RZRegion.from_corners(0, 0, np.array(lo), np.array(hi))
+
+        pt1 = box([0, 0], [1, 1])
+        pt3 = box([0, 4], [1, 5])   # shares x-range with pt1
+        pt4 = box([0, 2], [7, 3])   # wide in x
+        assert dominance_volume(pt1, pt4) > dominance_volume(pt1, pt3)

@@ -1,0 +1,223 @@
+"""Unit tests for the ZB-tree structure and its queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ZOrderError
+from repro.core.point import dominates
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.zbtree import (
+    OpCounter,
+    ZBTree,
+    build_zbtree,
+    rebuild,
+)
+
+
+@pytest.fixture
+def codec() -> ZGridCodec:
+    return ZGridCodec.grid_identity(3, bits_per_dim=6)
+
+
+def make_tree(codec, rng, n=200, top=64, **kwargs) -> ZBTree:
+    points = rng.integers(0, top, (n, codec.dimensions)).astype(float)
+    return build_zbtree(codec, points, **kwargs), points
+
+
+class TestBuild:
+    def test_empty_tree(self, codec):
+        tree = build_zbtree(codec, np.empty((0, 3)))
+        assert tree.is_empty
+        assert tree.size == 0
+        assert tree.height() == 0
+        assert tree.points().shape == (0, 3)
+
+    def test_single_point(self, codec):
+        tree = build_zbtree(codec, np.array([[1.0, 2.0, 3.0]]))
+        assert tree.size == 1
+        assert tree.height() == 1
+
+    def test_points_come_back_in_z_order(self, codec, rng):
+        tree, points = make_tree(codec, rng)
+        zs, got, ids = tree.collect()
+        assert sorted(zs) == zs
+        assert got.shape == points.shape
+        # Content preserved as a multiset (ids map back to rows).
+        assert np.array_equal(got[np.argsort(ids)], points)
+
+    def test_validate_passes_for_fresh_tree(self, codec, rng):
+        tree, _ = make_tree(codec, rng)
+        tree.validate()
+
+    def test_size_and_leaf_capacity(self, codec, rng):
+        tree, _ = make_tree(codec, rng, n=100, leaf_capacity=8, fanout=4)
+        assert tree.size == 100
+        for leaf in tree.leaves():
+            assert leaf.size <= 8
+
+    def test_height_grows_logarithmically(self, codec, rng):
+        small, _ = make_tree(codec, rng, n=10, leaf_capacity=4, fanout=4)
+        big, _ = make_tree(codec, rng, n=600, leaf_capacity=4, fanout=4)
+        assert big.height() > small.height()
+        assert big.height() <= 7
+
+    def test_custom_ids_preserved(self, codec):
+        pts = np.array([[0.0, 0.0, 0.0], [5.0, 5.0, 5.0]])
+        tree = build_zbtree(codec, pts, ids=[42, 7])
+        assert set(tree.ids().tolist()) == {42, 7}
+
+    def test_rejects_mismatched_ids(self, codec):
+        with pytest.raises(ZOrderError):
+            build_zbtree(codec, np.zeros((2, 3)), ids=[1])
+
+    def test_rejects_bad_fanout(self, codec):
+        with pytest.raises(ZOrderError):
+            build_zbtree(codec, np.zeros((2, 3)), fanout=1)
+
+    def test_rejects_1d_points(self, codec):
+        with pytest.raises(ZOrderError):
+            build_zbtree(codec, np.zeros(3))
+
+    def test_unsorted_zaddresses_accepted(self, codec):
+        pts = np.array([[5.0, 5.0, 5.0], [0.0, 0.0, 0.0]])
+        zs = codec.encode_grid(pts.astype(np.int64))
+        tree = build_zbtree(codec, pts, zaddresses=zs)
+        tree.validate()
+
+
+class TestIsDominated:
+    def test_matches_brute_force(self, codec, rng):
+        tree, points = make_tree(codec, rng, n=150, top=16)
+        probes = rng.integers(0, 16, (50, 3)).astype(float)
+        for probe in probes:
+            expected = any(dominates(row, probe) for row in points)
+            assert tree.is_dominated(probe) == expected
+
+    def test_empty_tree_dominates_nothing(self, codec):
+        tree = build_zbtree(codec, np.empty((0, 3)))
+        assert not tree.is_dominated(np.zeros(3))
+
+    def test_equal_point_does_not_dominate(self, codec):
+        pts = np.array([[3.0, 3.0, 3.0]])
+        tree = build_zbtree(codec, pts)
+        assert not tree.is_dominated(np.array([3.0, 3.0, 3.0]))
+        assert tree.is_dominated(np.array([3.0, 3.0, 4.0]))
+
+    def test_counter_accrues(self, codec, rng):
+        tree, _ = make_tree(codec, rng)
+        counter = OpCounter()
+        tree.is_dominated(np.full(3, 63.0), counter)
+        assert counter.total() > 0
+
+
+class TestRemoveDominatedBy:
+    def test_matches_brute_force(self, codec, rng):
+        for trial in range(5):
+            tree, points = make_tree(codec, rng, n=120, top=16)
+            pivot = rng.integers(0, 16, 3).astype(float)
+            expected_removed = sum(
+                1 for row in points if dominates(pivot, row)
+            )
+            removed = tree.remove_dominated_by(pivot)
+            assert removed == expected_removed
+            assert tree.size == 120 - expected_removed
+            # No survivor is dominated by the pivot.
+            for row in tree.points():
+                assert not dominates(pivot, row)
+
+    def test_remove_everything(self, codec):
+        pts = np.full((10, 3), 9.0)
+        tree = build_zbtree(codec, pts)
+        removed = tree.remove_dominated_by(np.zeros(3))
+        assert removed == 10
+        assert tree.is_empty
+
+    def test_remove_nothing_from_empty(self, codec):
+        tree = build_zbtree(codec, np.empty((0, 3)))
+        assert tree.remove_dominated_by(np.zeros(3)) == 0
+
+    def test_repeated_removals_consistent(self, codec, rng):
+        tree, points = make_tree(codec, rng, n=200, top=8)
+        pivots = rng.integers(0, 8, (10, 3)).astype(float)
+        survivors = list(map(tuple, points))
+        for pivot in pivots:
+            tree.remove_dominated_by(pivot)
+            survivors = [
+                s for s in survivors if not dominates(pivot, np.array(s))
+            ]
+        assert sorted(map(tuple, tree.points())) == sorted(survivors)
+
+    def test_rebuild_after_removals_rebalances(self, codec, rng):
+        tree, _ = make_tree(codec, rng, n=300, top=8)
+        tree.remove_dominated_by(np.array([1.0, 1.0, 1.0]))
+        rebuilt = rebuild(tree)
+        rebuilt.validate()
+        assert rebuilt.size == tree.size
+        assert sorted(map(tuple, rebuilt.points())) == sorted(
+            map(tuple, tree.points())
+        )
+
+
+class TestBatchedQueries:
+    def test_dominated_mask_tree_matches_single(self, codec, rng):
+        tree, points = make_tree(codec, rng, n=150, top=16)
+        probes = rng.integers(0, 16, (60, 3)).astype(float)
+        batched = tree.dominated_mask_tree(probes)
+        for i, probe in enumerate(probes):
+            assert batched[i] == tree.is_dominated(probe)
+
+    def test_dominated_mask_tree_empty_cases(self, codec):
+        empty_tree = build_zbtree(codec, np.empty((0, 3)))
+        assert not empty_tree.dominated_mask_tree(np.ones((3, 3))).any()
+        full_tree = build_zbtree(codec, np.zeros((1, 3)))
+        assert full_tree.dominated_mask_tree(np.empty((0, 3))).size == 0
+
+    def test_remove_block_matches_sequential(self, codec, rng):
+        pts = rng.integers(0, 16, (200, 3)).astype(float)
+        pivots = rng.integers(0, 16, (8, 3)).astype(float)
+        t_batch = build_zbtree(codec, pts)
+        t_seq = build_zbtree(codec, pts)
+        removed_batch = t_batch.remove_dominated_by_block(pivots)
+        removed_seq = sum(
+            t_seq.remove_dominated_by(pivot) for pivot in pivots
+        )
+        assert removed_batch == removed_seq
+        assert sorted(map(tuple, t_batch.points())) == sorted(
+            map(tuple, t_seq.points())
+        )
+
+    def test_remove_block_empty_block(self, codec, rng):
+        tree, _ = make_tree(codec, rng, n=50)
+        assert tree.remove_dominated_by_block(np.empty((0, 3))) == 0
+        assert tree.size == 50
+
+
+class TestRangeQuery:
+    def test_matches_bruteforce(self, codec, rng):
+        tree, points = make_tree(codec, rng, n=300, top=32)
+        for _ in range(10):
+            lo = rng.integers(0, 24, 3).astype(float)
+            hi = lo + rng.integers(0, 10, 3)
+            expected = np.flatnonzero(
+                np.all((lo <= points) & (points <= hi), axis=1)
+            )
+            got = tree.range_query(lo, hi)
+            assert got.tolist() == expected.tolist()
+
+    def test_empty_tree(self, codec):
+        tree = build_zbtree(codec, np.empty((0, 3)))
+        assert tree.range_query(np.zeros(3), np.ones(3)).size == 0
+
+    def test_full_box_returns_everything(self, codec, rng):
+        tree, points = make_tree(codec, rng, n=100)
+        got = tree.range_query(np.zeros(3), np.full(3, 63.0))
+        assert got.size == 100
+
+
+class TestOpCounter:
+    def test_merge_and_total(self):
+        a = OpCounter(point_tests=3, region_tests=2, nodes_visited=1)
+        b = OpCounter(point_tests=10)
+        a.merge(b)
+        assert a.point_tests == 13
+        assert a.total() == 16

@@ -1,0 +1,156 @@
+"""Unit tests for Z-merge (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.skyline import is_skyline_of
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.zbtree import OpCounter, build_zbtree
+from repro.zorder.zmerge import zmerge, zmerge_all
+from repro.zorder.zsearch import zsearch
+
+
+@pytest.fixture
+def codec() -> ZGridCodec:
+    return ZGridCodec.grid_identity(3, bits_per_dim=5)
+
+
+def skyline_tree(codec, points, id_offset=0):
+    """Build a dominance-free tree: the skyline of `points`."""
+    tree = build_zbtree(
+        codec, points, ids=np.arange(len(points)) + id_offset
+    )
+    sky, ids = zsearch(tree)
+    return build_zbtree(codec, sky, ids=ids)
+
+
+class TestZMergeContract:
+    def test_merge_equals_skyline_of_union(self, codec):
+        rng = np.random.default_rng(1)
+        for trial in range(10):
+            a = rng.integers(0, 32, (150, 3)).astype(float)
+            b = rng.integers(0, 32, (150, 3)).astype(float)
+            ta = skyline_tree(codec, a)
+            tb = skyline_tree(codec, b, id_offset=1000)
+            merged = zmerge(ta, tb)
+            union = np.vstack([a, b])
+            assert is_skyline_of(merged.points(), union)
+
+    def test_merge_with_empty_source(self, codec):
+        a = np.array([[1.0, 1.0, 1.0]])
+        ta = skyline_tree(codec, a)
+        tb = build_zbtree(codec, np.empty((0, 3)))
+        merged = zmerge(ta, tb)
+        assert merged.size == 1
+
+    def test_merge_into_empty_sky(self, codec):
+        a = np.array([[1.0, 1.0, 1.0]])
+        ta = build_zbtree(codec, np.empty((0, 3)))
+        tb = skyline_tree(codec, a)
+        merged = zmerge(ta, tb)
+        assert merged.size == 1
+
+    def test_source_fully_dominated_is_discarded(self, codec):
+        sky = skyline_tree(codec, np.array([[0.0, 0.0, 0.0]]))
+        src = skyline_tree(
+            codec,
+            np.array([[5.0, 5.0, 5.0], [6.0, 7.0, 8.0]]),
+            id_offset=10,
+        )
+        merged = zmerge(sky, src)
+        assert merged.size == 1
+        assert merged.points().tolist() == [[0.0, 0.0, 0.0]]
+
+    def test_sky_fully_replaced_by_source(self, codec):
+        sky = skyline_tree(
+            codec, np.array([[5.0, 5.0, 5.0], [7.0, 6.0, 8.0]])
+        )
+        src = skyline_tree(codec, np.array([[0.0, 0.0, 0.0]]), id_offset=10)
+        merged = zmerge(sky, src)
+        assert merged.size == 1
+        assert merged.points().tolist() == [[0.0, 0.0, 0.0]]
+
+    def test_incomparable_trees_graft(self, codec):
+        # Two anti-diagonal clusters: no cross dominance at all.
+        a = np.array([[0.0, 31.0, 15.0], [1.0, 30.0, 15.0]])
+        b = np.array([[31.0, 0.0, 15.0], [30.0, 1.0, 15.0]])
+        ta = skyline_tree(codec, a)
+        tb = skyline_tree(codec, b, id_offset=10)
+        merged = zmerge(ta, tb)
+        assert merged.size == 4
+
+    def test_duplicates_across_trees_survive(self, codec):
+        a = np.array([[3.0, 3.0, 3.0]])
+        b = np.array([[3.0, 3.0, 3.0]])
+        merged = zmerge(
+            skyline_tree(codec, a), skyline_tree(codec, b, id_offset=5)
+        )
+        assert merged.size == 2
+
+    def test_merged_tree_is_valid_and_balanced(self, codec):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 32, (200, 3)).astype(float)
+        b = rng.integers(0, 32, (200, 3)).astype(float)
+        merged = zmerge(
+            skyline_tree(codec, a), skyline_tree(codec, b, id_offset=1000)
+        )
+        merged.validate()
+
+    def test_counter_accrues(self, codec):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 32, (100, 3)).astype(float)
+        b = rng.integers(0, 32, (100, 3)).astype(float)
+        counter = OpCounter()
+        zmerge(
+            skyline_tree(codec, a),
+            skyline_tree(codec, b, id_offset=1000),
+            counter,
+        )
+        assert counter.total() > 0
+
+    def test_ids_preserved_through_merge(self, codec):
+        a = np.array([[0.0, 9.0, 5.0]])
+        b = np.array([[9.0, 0.0, 5.0]])
+        merged = zmerge(
+            build_zbtree(codec, a, ids=[111]),
+            build_zbtree(codec, b, ids=[222]),
+        )
+        assert set(merged.ids().tolist()) == {111, 222}
+
+
+class TestZMergeAll:
+    def test_fold_many_trees(self, codec):
+        rng = np.random.default_rng(4)
+        chunks = [
+            rng.integers(0, 32, (80, 3)).astype(float) for _ in range(6)
+        ]
+        trees = [
+            skyline_tree(codec, chunk, id_offset=1000 * i)
+            for i, chunk in enumerate(chunks)
+        ]
+        merged = zmerge_all(trees)
+        assert is_skyline_of(merged.points(), np.vstack(chunks))
+
+    def test_single_tree_passthrough(self, codec):
+        tree = skyline_tree(codec, np.array([[1.0, 2.0, 3.0]]))
+        assert zmerge_all([tree]) is tree
+
+    def test_empty_iterable_rejected(self):
+        with pytest.raises(ValueError):
+            zmerge_all([])
+
+    def test_fold_order_does_not_change_result(self, codec):
+        rng = np.random.default_rng(5)
+        chunks = [
+            rng.integers(0, 16, (60, 3)).astype(float) for _ in range(4)
+        ]
+
+        def run(order):
+            trees = [
+                skyline_tree(codec, chunks[i], id_offset=1000 * i)
+                for i in order
+            ]
+            pts = zmerge_all(trees).points()
+            return sorted(map(tuple, pts))
+
+        assert run([0, 1, 2, 3]) == run([3, 1, 0, 2])

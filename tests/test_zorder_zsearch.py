@@ -1,0 +1,109 @@
+"""Unit tests for Z-search."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.skyline import is_skyline_of, skyline_oracle
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.zbtree import OpCounter, build_zbtree
+from repro.zorder.zsearch import SkylineBuffer, zsearch, zsearch_dataset
+
+
+@pytest.fixture
+def codec() -> ZGridCodec:
+    return ZGridCodec.grid_identity(3, bits_per_dim=5)
+
+
+class TestZSearch:
+    def test_matches_oracle_random(self, codec):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            pts = rng.integers(0, 32, (120, 3)).astype(float)
+            tree = build_zbtree(codec, pts)
+            sky, ids = zsearch(tree)
+            assert is_skyline_of(sky, pts)
+
+    def test_empty_tree(self, codec):
+        tree = build_zbtree(codec, np.empty((0, 3)))
+        sky, ids = zsearch(tree)
+        assert sky.shape == (0, 3)
+        assert ids.size == 0
+
+    def test_all_duplicates_kept(self, codec):
+        pts = np.tile(np.array([[4.0, 4.0, 4.0]]), (6, 1))
+        tree = build_zbtree(codec, pts)
+        sky, _ = zsearch(tree)
+        assert sky.shape[0] == 6
+
+    def test_single_dominator(self, codec):
+        pts = np.vstack(
+            [np.zeros((1, 3)), np.ones((20, 3)) * 7]
+        )
+        tree = build_zbtree(codec, pts)
+        sky, ids = zsearch(tree)
+        assert sky.shape[0] == 1
+        assert ids.tolist() == [0]
+
+    def test_ids_refer_to_original_rows(self, codec):
+        rng = np.random.default_rng(3)
+        pts = rng.integers(0, 32, (60, 3)).astype(float)
+        custom_ids = np.arange(1000, 1060)
+        tree = build_zbtree(codec, pts, ids=custom_ids)
+        sky, ids = zsearch(tree)
+        for point, pid in zip(sky, ids):
+            assert np.array_equal(pts[pid - 1000], point)
+
+    def test_pruning_reduces_point_tests(self, codec):
+        # Correlated data: one point dominates nearly everything, so
+        # region pruning should keep the test count near-linear.
+        rng = np.random.default_rng(4)
+        base = rng.integers(0, 4, (300, 3))
+        pts = (base + 20).astype(float)
+        pts[0] = [0.0, 0.0, 0.0]
+        tree = build_zbtree(codec, pts)
+        counter = OpCounter()
+        sky, _ = zsearch(tree, counter)
+        assert sky.shape[0] == 1
+        # Far fewer than the quadratic 300*300/2 comparisons.
+        assert counter.point_tests < 2000
+
+    def test_result_in_z_order(self, codec):
+        rng = np.random.default_rng(5)
+        pts = rng.integers(0, 32, (120, 3)).astype(float)
+        tree = build_zbtree(codec, pts)
+        sky, _ = zsearch(tree)
+        zs = codec.encode_grid(sky.astype(np.int64))
+        assert zs == sorted(zs)
+
+
+class TestZSearchDataset:
+    def test_with_explicit_codec(self, codec):
+        rng = np.random.default_rng(6)
+        ds = Dataset(rng.integers(0, 32, (80, 3)).astype(float))
+        sky, _ = zsearch_dataset(ds, codec)
+        assert is_skyline_of(sky, ds.points)
+
+    def test_derives_codec_when_missing(self):
+        rng = np.random.default_rng(7)
+        ds = Dataset(rng.integers(0, 100, (80, 4)).astype(float))
+        sky, _ = zsearch_dataset(ds)
+        assert is_skyline_of(sky, ds.points)
+
+
+class TestSkylineBuffer:
+    def test_growth_beyond_initial_capacity(self):
+        buf = SkylineBuffer(2, initial_capacity=2)
+        for i in range(10):
+            buf.append(np.array([float(i), float(9 - i)]), i, i)
+        assert buf.size == 10
+        assert buf.points.shape == (10, 2)
+        assert buf.ids.tolist() == list(range(10))
+
+    def test_dominates(self):
+        buf = SkylineBuffer(2)
+        counter = OpCounter()
+        assert not buf.dominates(np.array([1.0, 1.0]), counter)
+        buf.append(np.array([0.0, 0.0]), 0, 0)
+        assert buf.dominates(np.array([1.0, 1.0]), counter)
+        assert not buf.dominates(np.array([0.0, 0.0]), counter)
