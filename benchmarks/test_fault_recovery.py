@@ -1,0 +1,86 @@
+"""Recovery overhead under deterministic fault injection.
+
+Compares a clean run against the same workload executed under a seeded
+:class:`FaultPlan` (transient task failures + worker crashes losing map
+output + shuffle corruption): the skyline must be identical, and the
+extra work — retries, re-executed map tasks, re-fetched blocks, backoff
+— is the recovery overhead the table quantifies."""
+
+from conftest import once
+
+from repro.bench.harness import ResultTable, run_plan_measured
+from repro.data.synthetic import anticorrelated
+from repro.mapreduce.faults import FaultPlan
+
+PLANS = ("Naive-Z+ZS", "ZHG+ZS", "ZDG+ZS+ZM")
+
+FAULTS = FaultPlan(
+    seed=23,
+    task_failure_rate=0.15,
+    worker_crash_rate=0.25,
+    corruption_rate=0.15,
+    max_attempts=8,
+    backoff_base=0.002,
+)
+
+
+def _run(scale):
+    dataset = anticorrelated(scale.size(10), 6, seed=4)
+    table = ResultTable(
+        "fault recovery overhead (clean vs faulted)",
+        [
+            "plan",
+            "mode",
+            "makespan_s",
+            "makespan_cost",
+            "recovery_cost",
+            "failed_attempts",
+            "worker_crashes",
+            "reexecuted_tasks",
+            "corrupt_blocks",
+            "skyline",
+        ],
+    )
+    skylines = {}
+    for plan in PLANS:
+        for mode, fault_plan in (("clean", None), ("faulted", FAULTS)):
+            report = run_plan_measured(
+                plan, dataset, num_workers=8, fault_plan=fault_plan
+            )
+            summary = report.fault_summary()
+            table.add(
+                plan=plan,
+                mode=mode,
+                makespan_s=round(report.total_seconds, 4),
+                makespan_cost=report.makespan_cost,
+                recovery_cost=report.recovery_cost,
+                failed_attempts=summary["map.failed_attempts"]
+                + summary["reduce.failed_attempts"],
+                worker_crashes=summary["map.worker_crashes"],
+                reexecuted_tasks=summary["map.reexecuted_tasks"],
+                corrupt_blocks=summary["shuffle.corrupt_blocks"],
+                skyline=report.skyline_size,
+            )
+            skylines[(plan, mode)] = sorted(report.skyline.ids.tolist())
+    return table, skylines
+
+
+class TestFaultRecovery:
+    def test_recovery_overhead(self, benchmark, scale, emit):
+        table, skylines = once(benchmark, lambda: _run(scale))
+        emit(table, "fault_recovery")
+        for plan in PLANS:
+            # The contract: faults never change the answer.
+            assert skylines[(plan, "clean")] == skylines[(plan, "faulted")]
+            clean = table.select(plan=plan, mode="clean").rows[0]
+            faulted = table.select(plan=plan, mode="faulted").rows[0]
+            # A clean run reports zero recovery activity...
+            assert clean["recovery_cost"] == 0
+            assert clean["failed_attempts"] == 0
+            assert clean["corrupt_blocks"] == 0
+            # ...and the schedule genuinely exercised the faulted one.
+            assert (
+                faulted["failed_attempts"]
+                + faulted["reexecuted_tasks"]
+                + faulted["corrupt_blocks"]
+            ) > 0

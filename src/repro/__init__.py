@@ -26,6 +26,7 @@ from repro.core.dataset import Dataset
 from repro.core.point import DominanceRelation, compare, dominates
 from repro.core.skyline import skyline_oracle
 from repro.maintenance import SkylineMaintainer
+from repro.mapreduce.faults import FaultPlan
 from repro.pipeline.advisor import Advice, advise
 from repro.pipeline.driver import (
     EngineConfig,
@@ -43,6 +44,7 @@ __all__ = [
     "Dataset",
     "DominanceRelation",
     "EngineConfig",
+    "FaultPlan",
     "PlanConfig",
     "RunReport",
     "SkylineEngine",

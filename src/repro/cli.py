@@ -65,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=8)
     run.add_argument("--sample-ratio", type=float, default=0.02)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--executor",
+        default="simulated",
+        choices=["simulated", "threaded"],
+        help="task executor (threaded = real thread-per-worker)",
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault injection, e.g. "
+            "'seed=7,task=0.1,crash=0.2,corrupt=0.05,attempts=5'"
+        ),
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a paper figure's rows"
@@ -133,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import ConfigurationError
+    from repro.mapreduce.faults import FaultPlan
+
+    try:
+        fault_plan = (
+            FaultPlan.parse(args.faults) if args.faults is not None else None
+        )
+    except ConfigurationError as exc:
+        print(f"error: invalid --faults spec: {exc}", file=sys.stderr)
+        return 2
     dataset = generate(
         args.dist, args.num_points, args.dimensions, seed=args.seed
     )
@@ -143,10 +168,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         sample_ratio=args.sample_ratio,
         seed=args.seed,
+        executor=args.executor,
+        fault_plan=fault_plan,
     )
     print(f"dataset   : {dataset.name}")
     for key, value in report.summary().items():
         print(f"{key:14s}: {value}")
+    if fault_plan is not None:
+        print(f"faults    : {fault_plan.describe()}")
+        for key, value in report.fault_summary().items():
+            print(f"  {key:24s}: {value}")
     return 0
 
 

@@ -28,3 +28,7 @@ class PartitioningError(ReproError):
 
 class MapReduceError(ReproError):
     """Raised by the simulated MapReduce runtime for invalid job specs."""
+
+
+class FaultInjectionError(MapReduceError):
+    """Raised when fault injection exhausts a task's retry budget."""

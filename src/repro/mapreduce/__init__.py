@@ -14,14 +14,20 @@ counts — all of which are observable in-process.  This package provides:
 * :mod:`repro.mapreduce.cluster` — workers with per-task wall-clock and
   abstract-cost ledgers, makespan/skew metrics, and optional straggler
   fault injection;
+* :mod:`repro.mapreduce.faults` — seeded, deterministic fault
+  injection (:class:`FaultPlan`): transient task failures with retry +
+  backoff, mid-round worker crashes that lose completed map output,
+  and checksum-detected shuffle corruption;
 * :mod:`repro.mapreduce.job` / :mod:`repro.mapreduce.runtime` — job
   specification and the engine that executes map → combine → shuffle →
-  reduce rounds over the simulated cluster.
+  reduce rounds over the simulated cluster, including lineage-based
+  re-execution of lost map tasks and shuffle re-fetch.
 """
 
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.cluster import ClusterMetrics, SimulatedCluster, WorkerLedger
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import FaultPlan, TransientTaskError
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
 from repro.mapreduce.runtime import MapReduceRuntime
@@ -32,11 +38,13 @@ __all__ = [
     "ClusterMetrics",
     "Counters",
     "DistributedCache",
+    "FaultPlan",
     "InMemoryDFS",
     "JobResult",
     "MapReduceJob",
     "MapReduceRuntime",
     "SimulatedCluster",
     "TaskContext",
+    "TransientTaskError",
     "WorkerLedger",
 ]

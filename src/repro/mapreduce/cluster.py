@@ -24,7 +24,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-from repro.core.exceptions import MapReduceError
+from repro.core.exceptions import FaultInjectionError, MapReduceError
+from repro.mapreduce.faults import FaultPlan, TransientTaskError
 
 T = TypeVar("T")
 
@@ -41,6 +42,8 @@ class WorkerLedger:
     wall_seconds: float = 0.0
     cost_units: int = 0
     speculative_copies: int = 0
+    failed_attempts: int = 0
+    backoff_seconds: float = 0.0
 
 
 @dataclass
@@ -49,6 +52,9 @@ class ClusterMetrics:
 
     phase: str
     ledgers: List[WorkerLedger] = field(default_factory=list)
+    #: effective worker id per task (after failed-worker rerouting) —
+    #: the lineage the runtime uses to re-execute lost map output
+    placements: Optional[List[int]] = None
 
     @property
     def makespan_seconds(self) -> float:
@@ -82,6 +88,16 @@ class ClusterMetrics:
         """Total speculative task re-executions in this phase."""
         return sum(w.speculative_copies for w in self.ledgers)
 
+    @property
+    def failed_attempts(self) -> int:
+        """Total transient task-attempt failures (injected faults)."""
+        return sum(w.failed_attempts for w in self.ledgers)
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Total accounted retry backoff across workers."""
+        return sum(w.backoff_seconds for w in self.ledgers)
+
 
 class SimulatedCluster:
     """A fixed pool of workers executing task rounds.
@@ -93,6 +109,10 @@ class SimulatedCluster:
     slowdown_factors:
         Optional per-worker wall-time multipliers for straggler
         injection; length must equal ``num_workers``.
+    fault_plan:
+        Optional :class:`~repro.mapreduce.faults.FaultPlan`; injects
+        transient per-attempt task failures, retried with
+        exponential-backoff accounting up to ``max_attempts``.
     """
 
     def __init__(
@@ -102,6 +122,7 @@ class SimulatedCluster:
         speculative: bool = False,
         speculation_threshold: float = 1.5,
         failed_workers: Optional[Sequence[int]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if num_workers <= 0:
             raise MapReduceError("num_workers must be positive")
@@ -127,6 +148,7 @@ class SimulatedCluster:
         self.speculative = speculative
         self.speculation_threshold = speculation_threshold
         self.failed_workers = failed
+        self.fault_plan = fault_plan
         self.history: List[ClusterMetrics] = []
 
     def run_round(
@@ -147,22 +169,58 @@ class SimulatedCluster:
         elif len(placement) != len(tasks):
             raise MapReduceError("placement must have one entry per task")
         placement = self._reroute_failures(list(placement))
-        executions: List[Tuple[int, float, int]] = []
+        executions: List[Tuple[int, float, int, int, float]] = []
         results: List[T] = []
-        for task, worker in zip(tasks, placement):
+        for index, (task, worker) in enumerate(zip(tasks, placement)):
             if not (0 <= worker < self.num_workers):
                 raise MapReduceError(f"worker id {worker} out of range")
-            start = time.perf_counter()
-            result, cost = task()
-            elapsed = time.perf_counter() - start
-            executions.append((worker, elapsed, int(cost)))
+            result, cost, elapsed, failures, backoff = self._run_attempts(
+                phase, index, task
+            )
+            executions.append((worker, elapsed, cost, failures, backoff))
             results.append(result)
         ledgers = self._build_ledgers(executions)
         if self.speculative:
             self._apply_speculation(ledgers, executions)
-        metrics = ClusterMetrics(phase=phase, ledgers=ledgers)
+        metrics = ClusterMetrics(
+            phase=phase, ledgers=ledgers, placements=list(placement)
+        )
         self.history.append(metrics)
         return results
+
+    def _run_attempts(
+        self, phase: str, index: int, task: Task
+    ) -> Tuple[T, int, float, int, float]:
+        """Run one task under the fault plan's retry loop.
+
+        Injected failures strike *before* the task body runs (the
+        attempt dies on startup), so a retried task never double-counts
+        job counters or abstract cost.  Returns ``(result, cost,
+        elapsed_seconds, failed_attempts, backoff_seconds)``.
+        """
+        plan = self.fault_plan
+        failures = 0
+        backoff = 0.0
+        attempt = 1
+        while True:
+            if plan is not None and plan.task_attempt_fails(
+                phase, index, attempt
+            ):
+                failures += 1
+                backoff += plan.backoff_seconds(attempt)
+                if attempt >= plan.max_attempts:
+                    raise FaultInjectionError(
+                        f"task {index} in phase {phase!r} exhausted "
+                        f"{plan.max_attempts} attempts"
+                    ) from TransientTaskError(
+                        f"injected failure on attempt {attempt}"
+                    )
+                attempt += 1
+                continue
+            start = time.perf_counter()
+            result, cost = task()
+            elapsed = time.perf_counter() - start
+            return result, int(cost), elapsed, failures, backoff
 
     def _reroute_failures(self, placement: List[int]) -> List[int]:
         """Worker-crash fault injection: tasks placed on failed workers
@@ -188,20 +246,26 @@ class SimulatedCluster:
         return rerouted
 
     def _build_ledgers(
-        self, executions: List[Tuple[int, float, int]]
+        self, executions: List[Tuple[int, float, int, int, float]]
     ) -> List[WorkerLedger]:
         ledgers = [WorkerLedger(w) for w in range(self.num_workers)]
-        for worker, elapsed, cost in executions:
+        for worker, elapsed, cost, failures, backoff in executions:
             ledger = ledgers[worker]
             ledger.tasks += 1
-            ledger.wall_seconds += elapsed * self.slowdown_factors[worker]
+            # Backoff is retry *waiting*, not compute: it is not scaled
+            # by the worker's slowdown factor.
+            ledger.wall_seconds += (
+                elapsed * self.slowdown_factors[worker] + backoff
+            )
             ledger.cost_units += cost
+            ledger.failed_attempts += failures
+            ledger.backoff_seconds += backoff
         return ledgers
 
     def _apply_speculation(
         self,
         ledgers: List[WorkerLedger],
-        executions: List[Tuple[int, float, int]],
+        executions: List[Tuple[int, float, int, int, float]],
     ) -> None:
         """Speculative task re-execution (Hadoop's straggler cure).
 
@@ -216,7 +280,7 @@ class SimulatedCluster:
         """
         # Remaining task queues by worker (intrinsic seconds).
         queues: List[List[float]] = [[] for _ in range(self.num_workers)]
-        for worker, elapsed, _cost in executions:
+        for worker, elapsed, _cost, _failures, _backoff in executions:
             queues[worker].append(elapsed)
         for _round in range(len(executions)):
             walls = [w.wall_seconds for w in ledgers]

@@ -35,6 +35,11 @@ class Counters:
         with self._lock:
             return self._data.get(group, {}).get(name, 0)
 
+    def group(self, group: str) -> Dict[str, int]:
+        """Snapshot of one counter group (empty dict if absent)."""
+        with self._lock:
+            return dict(self._data.get(group, {}))
+
     def merge(self, other: "Counters") -> None:
         """Accumulate another counter set into this one."""
         with other._lock:

@@ -18,6 +18,7 @@ class InMemoryDFS:
 
     def __init__(self) -> None:
         self._files: Dict[str, List[Block]] = {}
+        self._checksums: Dict[str, List[int]] = {}
         self.bytes_written = 0
         self.bytes_read = 0
         self.records_written = 0
@@ -25,10 +26,13 @@ class InMemoryDFS:
 
     def write(self, path: str, blocks: List[Block]) -> None:
         """Create a file; overwriting is an error (HDFS files are
-        immutable once closed)."""
+        immutable once closed).  Block checksums are recorded at write
+        time so later integrity audits (:meth:`verify`) can detect
+        corruption, mirroring HDFS's per-block CRC files."""
         if path in self._files:
             raise MapReduceError(f"DFS path {path!r} already exists")
         self._files[path] = list(blocks)
+        self._checksums[path] = [block.checksum() for block in blocks]
         for block in blocks:
             self.bytes_written += block.nbytes
             self.records_written += block.size
@@ -46,11 +50,21 @@ class InMemoryDFS:
     def exists(self, path: str) -> bool:
         return path in self._files
 
+    def verify(self, path: str) -> bool:
+        """Recompute a file's block checksums against the write-time
+        record; ``True`` when the payload is intact."""
+        if path not in self._files:
+            raise MapReduceError(f"DFS path {path!r} does not exist")
+        return [
+            block.checksum() for block in self._files[path]
+        ] == self._checksums[path]
+
     def delete(self, path: str) -> None:
         """Remove a file (missing path is an error)."""
         if path not in self._files:
             raise MapReduceError(f"DFS path {path!r} does not exist")
         del self._files[path]
+        del self._checksums[path]
 
     def listdir(self) -> List[str]:
         """All stored paths, sorted."""

@@ -57,6 +57,20 @@ class MapReduceJob:
             raise MapReduceError("job needs a non-empty name")
 
 
+#: the ``group -> name`` counters that describe recovery activity
+FAULT_COUNTER_KEYS: "tuple" = (
+    ("map", "failed_attempts"),
+    ("map", "worker_crashes"),
+    ("map", "lost_map_outputs"),
+    ("map", "reexecuted_tasks"),
+    ("reduce", "failed_attempts"),
+    ("reduce", "retries"),
+    ("shuffle", "corrupt_blocks"),
+    ("shuffle", "refetched_bytes"),
+    ("dfs", "skipped_outputs"),
+)
+
+
 @dataclass
 class JobResult:
     """Everything a driver learns from one executed job."""
@@ -70,3 +84,21 @@ class JobResult:
     shuffle_bytes: int = 0
     elapsed_seconds: float = 0.0
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: metrics of the map re-execution round after a worker crash lost
+    #: completed map output (None when no recovery round ran)
+    recovery_metrics: Optional[ClusterMetrics] = None
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Flat ``"group.name" -> value`` view of the failure counters
+        (all keys present, zero when the fault never fired)."""
+        return {
+            f"{group}.{name}": self.counters.get(group, name)
+            for group, name in FAULT_COUNTER_KEYS
+        }
+
+    @property
+    def recovery_cost(self) -> int:
+        """Abstract cost spent re-executing lost map tasks."""
+        if self.recovery_metrics is None:
+            return 0
+        return self.recovery_metrics.total_cost

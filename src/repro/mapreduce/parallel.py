@@ -8,29 +8,58 @@ inside the vectorised dominance kernels, so the phases genuinely
 overlap.  Cost accounting is identical (and still deterministic); only
 the measured wall times change.
 
-Straggler *injection* is not supported here — slowdown factors would
-have to actually sleep; use the simulated cluster for those studies.
+Straggler *injection* (slowdown factors, pre-declared failed workers,
+speculation) is not supported here — slowdown factors would have to
+actually sleep; use the simulated cluster for those studies.  Seeded
+:class:`~repro.mapreduce.faults.FaultPlan` injection *is* supported:
+its decisions are keyed draws independent of execution order, so the
+fault schedule stays deterministic even under thread racing.
 """
 
 from __future__ import annotations
 
-import time
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.exceptions import MapReduceError
+from repro.core.exceptions import ConfigurationError, MapReduceError
 from repro.mapreduce.cluster import (
     ClusterMetrics,
     SimulatedCluster,
     WorkerLedger,
 )
+from repro.mapreduce.faults import FaultPlan
 
 
 class ThreadedCluster(SimulatedCluster):
     """A cluster whose workers are real threads."""
 
-    def __init__(self, num_workers: int) -> None:
-        super().__init__(num_workers)
+    def __init__(
+        self, num_workers: int, fault_plan: Optional[FaultPlan] = None
+    ) -> None:
+        super().__init__(num_workers, fault_plan=fault_plan)
+
+    def _check_unsupported(self) -> None:
+        """Simulation-only knobs must not be silently ignored.
+
+        The inherited ``slowdown_factors`` / ``failed_workers`` /
+        ``speculative`` attributes can be set on an instance directly;
+        honouring them here is impossible (they model time, and threads
+        measure it), so producing metrics that quietly ignore them would
+        be wrong.  Fail loudly instead.
+        """
+        unsupported = []
+        if any(f != 1.0 for f in self.slowdown_factors):
+            unsupported.append("slowdown_factors")
+        if self.failed_workers:
+            unsupported.append("failed_workers")
+        if self.speculative:
+            unsupported.append("speculative")
+        if unsupported:
+            raise ConfigurationError(
+                f"ThreadedCluster does not support {', '.join(unsupported)}; "
+                f"use SimulatedCluster for straggler/failed-worker studies"
+            )
 
     def run_round(
         self,
@@ -38,6 +67,7 @@ class ThreadedCluster(SimulatedCluster):
         tasks: Sequence,
         placement: Optional[Sequence[int]] = None,
     ) -> List:
+        self._check_unsupported()
         if placement is None:
             placement = [i % self.num_workers for i in range(len(tasks))]
         elif len(placement) != len(tasks):
@@ -55,15 +85,36 @@ class ThreadedCluster(SimulatedCluster):
 
         results: List = [None] * len(tasks)
         ledgers = [WorkerLedger(w) for w in range(self.num_workers)]
+        errors: List[Tuple[int, MapReduceError]] = []
+        errors_lock = threading.Lock()
 
         def drain(worker_id: int) -> None:
+            # One task's failure must not abort the rest of this
+            # worker's queue: isolate per task, wrap with phase/task
+            # context, keep draining.
             ledger = ledgers[worker_id]
             for index, task in queues[worker_id]:
-                start = time.perf_counter()
-                result, cost = task()
-                ledger.wall_seconds += time.perf_counter() - start
+                try:
+                    result, cost, elapsed, failures, backoff = (
+                        self._run_attempts(phase, index, task)
+                    )
+                except Exception as exc:  # noqa: BLE001 — isolation point
+                    if isinstance(exc, MapReduceError):
+                        wrapped = exc
+                    else:
+                        wrapped = MapReduceError(
+                            f"task {index} in phase {phase!r} failed "
+                            f"on worker {worker_id}: {exc!r}"
+                        )
+                        wrapped.__cause__ = exc
+                    with errors_lock:
+                        errors.append((index, wrapped))
+                    continue
+                ledger.wall_seconds += elapsed + backoff
                 ledger.tasks += 1
-                ledger.cost_units += int(cost)
+                ledger.cost_units += cost
+                ledger.failed_attempts += failures
+                ledger.backoff_seconds += backoff
                 results[index] = result
 
         if tasks:
@@ -74,7 +125,12 @@ class ThreadedCluster(SimulatedCluster):
                     if queues[worker_id]
                 ]
                 for future in futures:
-                    future.result()  # re-raise task exceptions
-        metrics = ClusterMetrics(phase=phase, ledgers=ledgers)
+                    future.result()  # re-raise drain-level failures
+        metrics = ClusterMetrics(
+            phase=phase, ledgers=ledgers, placements=list(placement)
+        )
         self.history.append(metrics)
+        if errors:
+            errors.sort(key=lambda pair: pair[0])
+            raise errors[0][1]
         return results

@@ -10,6 +10,27 @@ Execution model (matching Hadoop's semantics at block granularity):
    accounting records and bytes moved;
 3. one **reduce task** per key, placed round-robin over workers (keys
    are group ids, so reducer load mirrors the grouping quality).
+
+Fault tolerance (active when a
+:class:`~repro.mapreduce.faults.FaultPlan` is attached):
+
+* transient task-attempt failures are retried by the cluster itself
+  (see :meth:`SimulatedCluster._run_attempts`);
+* a worker crashing at the end of the map round loses its completed map
+  output; the runtime keeps a **lineage map** from input split to the
+  worker that produced its output, so only the lost map tasks re-run
+  (on the survivors) before the shuffle — Hadoop's re-execution
+  semantics;
+* every shuffled block is **checksum-verified**; a corrupted fetch is
+  detected and re-fetched from the retained map output.
+
+Counters follow Hadoop's only-successful-attempts rule: map tasks
+accumulate into per-attempt counter sets that are merged into the job
+counters only for the attempt whose output actually survives, so a
+faulted run reports the same ``map.*``/``phase1.*`` record counts as a
+clean one.  The recovery work itself is observable through
+``map.failed_attempts``, ``map.worker_crashes``, ``map.lost_map_outputs``,
+``reduce.retries``, and ``shuffle.corrupt_blocks``.
 """
 
 from __future__ import annotations
@@ -20,8 +41,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import MapReduceError
 from repro.mapreduce.cache import DistributedCache
-from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.cluster import ClusterMetrics, SimulatedCluster
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
 from repro.mapreduce.types import Block
@@ -35,10 +57,18 @@ class MapReduceRuntime:
         cluster: SimulatedCluster,
         dfs: Optional[InMemoryDFS] = None,
         cache: Optional[DistributedCache] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.cluster = cluster
         self.dfs = dfs if dfs is not None else InMemoryDFS()
         self.cache = cache if cache is not None else DistributedCache()
+        #: runtime-level fault schedule (crash/corruption); defaults to
+        #: the cluster's plan so one knob drives the whole stack
+        self.fault_plan = (
+            fault_plan
+            if fault_plan is not None
+            else getattr(cluster, "fault_plan", None)
+        )
 
     def run(
         self,
@@ -49,23 +79,32 @@ class MapReduceRuntime:
         """Execute ``job`` over the given input splits.
 
         When ``output_path`` is given and the reduce outputs are blocks,
-        they are also written to the DFS (accounted).
+        they are also written to the DFS (accounted); non-block outputs
+        are skipped and counted under ``dfs.skipped_outputs``.
         """
         if not input_blocks:
             raise MapReduceError("job needs at least one input split")
         started = time.perf_counter()
         counters = Counters()
 
-        map_outputs = self._map_phase(job, input_blocks, counters)
+        map_outputs, map_metrics, recovery_metrics = self._map_phase(
+            job, input_blocks, counters
+        )
         grouped, shuffle_records, shuffle_bytes = self._shuffle(
-            map_outputs, counters
+            job.name, map_outputs, counters
         )
         outputs = self._reduce_phase(job, grouped, counters)
 
         if output_path is not None:
-            block_outputs = [
-                value for value in outputs.values() if isinstance(value, Block)
-            ]
+            block_outputs = []
+            skipped = 0
+            for value in outputs.values():
+                if isinstance(value, Block):
+                    block_outputs.append(value)
+                else:
+                    skipped += 1
+            if skipped:
+                counters.inc("dfs", "skipped_outputs", skipped)
             self.dfs.write(output_path, block_outputs)
 
         elapsed = time.perf_counter() - started
@@ -73,11 +112,12 @@ class MapReduceRuntime:
             job_name=job.name,
             outputs=outputs,
             counters=counters,
-            map_metrics=self.cluster.metrics_for(f"{job.name}:map"),
+            map_metrics=map_metrics,
             reduce_metrics=self.cluster.metrics_for(f"{job.name}:reduce"),
             shuffle_records=shuffle_records,
             shuffle_bytes=shuffle_bytes,
             elapsed_seconds=elapsed,
+            recovery_metrics=recovery_metrics,
         )
 
     # ------------------------------------------------------------------
@@ -86,11 +126,23 @@ class MapReduceRuntime:
         job: MapReduceJob,
         input_blocks: Sequence[Block],
         counters: Counters,
-    ) -> List[Dict[int, List[Block]]]:
+    ) -> Tuple[
+        List[Dict[int, List[Block]]],
+        ClusterMetrics,
+        Optional[ClusterMetrics],
+    ]:
+        phase = f"{job.name}:map"
+
         def make_task(block: Block):
-            def task() -> Tuple[Dict[int, List[Block]], int]:
-                ctx = TaskContext(self.cache, counters)
-                counters.inc("map", "input_records", block.size)
+            def task() -> Tuple[
+                Tuple[Dict[int, List[Block]], Counters], int
+            ]:
+                # Per-attempt counters: merged into the job counters
+                # only if this attempt's output survives (Hadoop counts
+                # successful attempts once, even after re-execution).
+                attempt_counters = Counters()
+                ctx = TaskContext(self.cache, attempt_counters)
+                attempt_counters.inc("map", "input_records", block.size)
                 emitted: Dict[int, List[Block]] = defaultdict(list)
                 for key, out_block in job.mapper(block, ctx):
                     emitted[int(key)].append(out_block)
@@ -102,25 +154,105 @@ class MapReduceRuntime:
                 out_records = sum(
                     b.size for blocks in emitted.values() for b in blocks
                 )
-                counters.inc("map", "output_records", out_records)
-                return dict(emitted), ctx.cost_units(records=block.size)
+                attempt_counters.inc("map", "output_records", out_records)
+                return (
+                    (dict(emitted), attempt_counters),
+                    ctx.cost_units(records=block.size),
+                )
 
             return task
 
         tasks = [make_task(block) for block in input_blocks]
-        return self.cluster.run_round(f"{job.name}:map", tasks)
+        attempts = self.cluster.run_round(phase, tasks)
+        map_metrics = self.cluster.metrics_for(phase)
+        recovery_metrics = self._recover_lost_map_output(
+            phase, tasks, attempts, map_metrics, counters
+        )
+
+        map_outputs: List[Dict[int, List[Block]]] = []
+        for emitted, attempt_counters in attempts:
+            counters.merge(attempt_counters)
+            map_outputs.append(emitted)
+
+        failed = map_metrics.failed_attempts + (
+            recovery_metrics.failed_attempts
+            if recovery_metrics is not None
+            else 0
+        )
+        if failed:
+            counters.inc("map", "failed_attempts", failed)
+        return map_outputs, map_metrics, recovery_metrics
+
+    def _recover_lost_map_output(
+        self,
+        phase: str,
+        tasks: List,
+        attempts: List,
+        map_metrics: ClusterMetrics,
+        counters: Counters,
+    ) -> Optional[ClusterMetrics]:
+        """Re-execute map tasks whose worker crashed after the round.
+
+        The crash strikes *after* completion — exactly the Hadoop case
+        where a node dies between map and shuffle and its local map
+        output becomes unreachable.  The lineage (``placements`` on the
+        round's metrics) tells us which splits were materialised where,
+        so only those tasks re-run, on the surviving workers.
+        """
+        plan = self.fault_plan
+        if plan is None or plan.worker_crash_rate <= 0.0:
+            return None
+        crashed = set(
+            plan.crashed_workers(phase, self.cluster.num_workers)
+        )
+        if not crashed:
+            return None
+        counters.inc("map", "worker_crashes", len(crashed))
+        placements = map_metrics.placements or []
+        lost = [
+            index
+            for index, worker in enumerate(placements)
+            if worker in crashed
+        ]
+        if not lost:
+            return None
+        counters.inc("map", "lost_map_outputs", len(lost))
+        counters.inc("map", "reexecuted_tasks", len(lost))
+        survivors = [
+            w for w in range(self.cluster.num_workers) if w not in crashed
+        ]
+        recovery_placement = [
+            survivors[i % len(survivors)] for i in range(len(lost))
+        ]
+        recovered = self.cluster.run_round(
+            f"{phase}:recovery",
+            [tasks[index] for index in lost],
+            placement=recovery_placement,
+        )
+        for slot, attempt in zip(lost, recovered):
+            attempts[slot] = attempt
+        return self.cluster.metrics_for(f"{phase}:recovery")
 
     def _shuffle(
         self,
+        job_name: str,
         map_outputs: List[Dict[int, List[Block]]],
         counters: Counters,
     ) -> Tuple[Dict[int, List[Block]], int, int]:
+        plan = self.fault_plan
+        inject = plan is not None and plan.corruption_rate > 0.0
         grouped: Dict[int, List[Block]] = defaultdict(list)
         records = 0
         nbytes = 0
+        fetches: Dict[int, int] = defaultdict(int)
         for task_output in map_outputs:
             for key, blocks in task_output.items():
                 for block in blocks:
+                    if inject:
+                        block = self._fetch_verified(
+                            job_name, key, fetches[key], block, counters
+                        )
+                        fetches[key] += 1
                     grouped[key].append(block)
                     records += block.size
                     nbytes += block.nbytes
@@ -128,12 +260,40 @@ class MapReduceRuntime:
         counters.inc("shuffle", "bytes", nbytes)
         return grouped, records, nbytes
 
+    def _fetch_verified(
+        self,
+        job_name: str,
+        key: int,
+        fetch_index: int,
+        block: Block,
+        counters: Counters,
+    ) -> Block:
+        """Simulate one shuffle fetch with checksum verification.
+
+        The sender's checksum is recorded before the transfer; if the
+        fault plan corrupts the copy in flight, the receiver's checksum
+        disagrees and the block is re-fetched from the retained map
+        output (which the lineage guarantees is still available).
+        """
+        plan = self.fault_plan
+        assert plan is not None
+        expected = block.checksum()
+        delivered = block
+        if plan.corrupts(f"{job_name}:shuffle", key, fetch_index):
+            delivered = plan.corrupt_copy(block)
+        if delivered.checksum() != expected:
+            counters.inc("shuffle", "corrupt_blocks")
+            counters.inc("shuffle", "refetched_bytes", block.nbytes)
+            delivered = block  # re-fetch: second transfer arrives clean
+        return delivered
+
     def _reduce_phase(
         self,
         job: MapReduceJob,
         grouped: Dict[int, List[Block]],
         counters: Counters,
     ) -> Dict[int, object]:
+        phase = f"{job.name}:reduce"
         keys = sorted(grouped)
 
         def make_task(key: int):
@@ -150,5 +310,9 @@ class MapReduceRuntime:
             return task
 
         tasks = [make_task(key) for key in keys]
-        results = self.cluster.run_round(f"{job.name}:reduce", tasks)
+        results = self.cluster.run_round(phase, tasks)
+        failed = self.cluster.metrics_for(phase).failed_attempts
+        if failed:
+            counters.inc("reduce", "failed_attempts", failed)
+            counters.inc("reduce", "retries", failed)
         return dict(zip(keys, results))

@@ -9,6 +9,7 @@ the algorithmic costs the benchmarks measure).
 
 from __future__ import annotations
 
+import zlib
 from typing import List, Sequence
 
 import numpy as np
@@ -49,6 +50,17 @@ class Block:
     def nbytes(self) -> int:
         """Serialized size estimate used by the I/O accounting."""
         return self.size * (self.dimensions * _BYTES_PER_VALUE + _BYTES_PER_ID)
+
+    def checksum(self) -> int:
+        """CRC32 over the serialized payload (ids then points).
+
+        What a sender records before a transfer and a receiver verifies
+        after it: any bit flip in either array changes the value, which
+        is how the shuffle detects corrupted fetches.
+        """
+        return zlib.crc32(
+            self.points.tobytes(), zlib.crc32(self.ids.tobytes())
+        )
 
     def select(self, mask_or_indices: np.ndarray) -> "Block":
         """Sub-block by boolean mask or integer positions."""

@@ -17,6 +17,8 @@ from repro.core.dataset import Dataset
 from repro.core.exceptions import ConfigurationError
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.job import FAULT_COUNTER_KEYS
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobResult
 from repro.mapreduce.runtime import MapReduceRuntime
@@ -44,6 +46,10 @@ class EngineConfig:
     slowdown_factors: Optional[Sequence[float]] = None
     speculative: bool = False
     failed_workers: Optional[Sequence[int]] = None
+    #: seeded fault-injection schedule (also accepts a spec string such
+    #: as ``"seed=7,task=0.1,crash=0.2,corrupt=0.05"``); works on both
+    #: executors — the keyed-draw schedule is thread-order independent
+    fault_plan: Optional[FaultPlan] = None
     #: "simulated" (sequential, deterministic, supports fault injection)
     #: or "threaded" (real thread-per-worker parallelism)
     executor: str = "simulated"
@@ -70,8 +76,16 @@ class EngineConfig:
             or self.failed_workers is not None
         ):
             raise ConfigurationError(
-                "fault injection and speculation need the simulated "
-                "executor"
+                "straggler injection and speculation need the simulated "
+                "executor (FaultPlan injection works on both)"
+            )
+        if isinstance(self.fault_plan, str):
+            self.fault_plan = FaultPlan.parse(self.fault_plan)
+        elif self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise ConfigurationError(
+                "fault_plan must be a FaultPlan or a spec string"
             )
 
 
@@ -191,6 +205,30 @@ class RunReport:
         """Max/mean abstract cost across phase-1 reduce workers."""
         return self.phase1.reduce_metrics.cost_skew()
 
+    # ------------------------------------------------------------------
+    # fault tolerance observability
+    # ------------------------------------------------------------------
+    def _jobs(self):
+        jobs = [self.phase1, self.phase2]
+        if self.phase2_partial is not None:
+            jobs.append(self.phase2_partial)
+        return jobs
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Failure/recovery counters summed over every executed job
+        (``"group.name" -> value``; all zero on a clean run)."""
+        return {
+            f"{group}.{name}": sum(
+                job.counters.get(group, name) for job in self._jobs()
+            )
+            for group, name in FAULT_COUNTER_KEYS
+        }
+
+    @property
+    def recovery_cost(self) -> int:
+        """Abstract cost spent re-executing crash-lost map tasks."""
+        return sum(job.recovery_cost for job in self._jobs())
+
     def summary(self) -> Dict[str, object]:
         """Flat dict of the headline numbers (bench harness rows)."""
         return {
@@ -244,17 +282,23 @@ class SkylineEngine:
         if cfg.executor == "threaded":
             from repro.mapreduce.parallel import ThreadedCluster
 
-            cluster: SimulatedCluster = ThreadedCluster(cfg.num_workers)
+            cluster: SimulatedCluster = ThreadedCluster(
+                cfg.num_workers, fault_plan=cfg.fault_plan
+            )
         else:
             cluster = SimulatedCluster(
                 cfg.num_workers,
                 slowdown_factors=cfg.slowdown_factors,
                 speculative=cfg.speculative,
                 failed_workers=cfg.failed_workers,
+                fault_plan=cfg.fault_plan,
             )
         cache = DistributedCache()
         pre.publish(cache)
-        runtime = MapReduceRuntime(cluster, dfs=InMemoryDFS(), cache=cache)
+        runtime = MapReduceRuntime(
+            cluster, dfs=InMemoryDFS(), cache=cache,
+            fault_plan=cfg.fault_plan,
+        )
 
         splits = split_dataset(
             snapped, cfg.num_input_splits or cfg.num_workers * 2

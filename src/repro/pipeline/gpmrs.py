@@ -123,10 +123,14 @@ def run_gpmrs(dataset: Dataset, config: EngineConfig) -> RunReport:
         config.num_workers,
         slowdown_factors=config.slowdown_factors,
         speculative=config.speculative,
+        fault_plan=config.fault_plan,
     )
     cache = DistributedCache()
     pre.publish(cache)
-    runtime = MapReduceRuntime(cluster, dfs=InMemoryDFS(), cache=cache)
+    runtime = MapReduceRuntime(
+        cluster, dfs=InMemoryDFS(), cache=cache,
+        fault_plan=config.fault_plan,
+    )
 
     splits = split_dataset(
         snapped, config.num_input_splits or config.num_workers * 2

@@ -42,19 +42,104 @@ class TestThreadedCluster:
         with pytest.raises(MapReduceError):
             cluster.run_round("p", [lambda: (1, 1)], placement=[0, 1])
 
-    def test_task_exception_propagates(self):
+    def test_task_exception_wrapped_with_context(self):
         cluster = ThreadedCluster(2)
 
         def boom():
             raise ValueError("kaput")
 
-        with pytest.raises(ValueError):
+        with pytest.raises(MapReduceError) as excinfo:
             cluster.run_round("p", [boom])
+        message = str(excinfo.value)
+        assert "task 0" in message and "'p'" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_task_exception_does_not_abort_worker_queue(self):
+        # Tasks 0 and 2 share worker 0; task 0 raising must not stop
+        # task 2 from running (per-task isolation).
+        cluster = ThreadedCluster(2)
+        ran = []
+
+        def boom():
+            raise ValueError("kaput")
+
+        def ok(i):
+            def task():
+                ran.append(i)
+                return i, 1
+
+            return task
+
+        with pytest.raises(MapReduceError):
+            cluster.run_round(
+                "p", [boom, ok(1), ok(2)], placement=[0, 1, 0]
+            )
+        assert sorted(ran) == [1, 2]
+        metrics = cluster.metrics_for("p")
+        assert metrics.ledgers[0].tasks == 1  # the survivor on worker 0
+
+    def test_first_failing_task_wins(self):
+        cluster = ThreadedCluster(2)
+
+        def boom(i):
+            def task():
+                raise ValueError(f"kaput-{i}")
+
+            return task
+
+        with pytest.raises(MapReduceError) as excinfo:
+            cluster.run_round("p", [boom(0), boom(1)])
+        assert "task 0" in str(excinfo.value)
 
     def test_empty_round(self):
         cluster = ThreadedCluster(2)
         assert cluster.run_round("p", []) == []
         assert cluster.metrics_for("p").makespan_cost == 0
+
+
+class TestCountersConcurrency:
+    def test_inc_hammered_from_worker_threads(self):
+        from repro.mapreduce.counters import Counters
+
+        counters = Counters()
+        increments_per_task, tasks_n = 500, 32
+
+        def make_task(i):
+            def task():
+                for _ in range(increments_per_task):
+                    counters.inc("hammer", "n")
+                return i, 1
+
+            return task
+
+        cluster = ThreadedCluster(8)
+        results = cluster.run_round(
+            "p", [make_task(i) for i in range(tasks_n)]
+        )
+        assert results == list(range(tasks_n))
+        assert counters.get("hammer", "n") == increments_per_task * tasks_n
+
+    def test_merge_hammered_from_worker_threads(self):
+        from repro.mapreduce.counters import Counters
+
+        shared = Counters()
+
+        def make_task(i):
+            def task():
+                local = Counters()
+                for _ in range(200):
+                    local.inc("g", "n")
+                    local.inc("g", f"task_{i}")
+                shared.merge(local)
+                return i, 1
+
+            return task
+
+        cluster = ThreadedCluster(8)
+        cluster.run_round("p", [make_task(i) for i in range(24)])
+        assert shared.get("g", "n") == 200 * 24
+        for i in range(24):
+            assert shared.get("g", f"task_{i}") == 200
 
 
 class TestThreadedEngine:

@@ -196,6 +196,23 @@ class TestWorkerFailure:
         )
         assert results == [0, 1, 2, 3, 4]
 
+    def test_all_placements_on_failed_workers_keep_task_order(self):
+        # Regression: every task of the round pinned to a failed worker
+        # must still come back in task order, spread over survivors.
+        cluster = SimulatedCluster(4, failed_workers=[0, 1])
+        results = cluster.run_round(
+            "p",
+            [lambda i=i: (i, 1) for i in range(6)],
+            placement=[0, 1, 0, 1, 0, 1],
+        )
+        assert results == list(range(6))
+        metrics = cluster.metrics_for("p")
+        assert metrics.ledgers[0].tasks == 0
+        assert metrics.ledgers[1].tasks == 0
+        assert metrics.ledgers[2].tasks == 3
+        assert metrics.ledgers[3].tasks == 3
+        assert all(w in (2, 3) for w in metrics.placements)
+
     def test_validation(self):
         with pytest.raises(MapReduceError):
             SimulatedCluster(2, failed_workers=[5])
