@@ -1,0 +1,63 @@
+"""Durability overhead of the supervised pipeline.
+
+Three runs of the same workload: the bare engine, the supervisor with
+checkpointing enabled (every durable stage serialised + CRC'd to disk),
+and a resumed run that replays nothing but the final merge.  The table
+quantifies what a checkpoint costs — and what a resume saves — while
+asserting all three produce the identical skyline."""
+
+import tempfile
+
+from conftest import once
+
+from repro.bench.harness import ResultTable, run_plan_measured
+from repro.data.synthetic import anticorrelated
+from repro.pipeline.supervisor import SupervisorConfig, supervised_run
+
+PLANS = ("ZHG+ZS", "ZDG+ZS+ZM")
+
+
+def _run(scale):
+    dataset = anticorrelated(scale.size(10), 6, seed=4)
+    table = ResultTable(
+        "checkpoint overhead (bare vs checkpointed vs resumed)",
+        ["plan", "mode", "total_s", "phase1_s", "merge_s", "skyline"],
+    )
+    for plan in PLANS:
+        bare = run_plan_measured(plan, dataset, num_workers=8)
+        table.add(
+            plan=plan,
+            mode="bare",
+            total_s=round(bare.total_seconds, 4),
+            phase1_s=round(bare.phase1_seconds, 4),
+            merge_s=round(bare.merge_seconds, 4),
+            skyline=bare.skyline_size,
+        )
+        with tempfile.TemporaryDirectory() as ckpt:
+            for mode, sup in (
+                ("checkpointed", SupervisorConfig(checkpoint_dir=ckpt)),
+                (
+                    "resumed",
+                    SupervisorConfig(checkpoint_dir=ckpt, resume=True),
+                ),
+            ):
+                report = supervised_run(
+                    plan, dataset, num_workers=8, supervisor=sup
+                )
+                assert sorted(report.skyline.ids) == sorted(
+                    bare.skyline.ids
+                )
+                table.add(
+                    plan=plan,
+                    mode=mode,
+                    total_s=round(report.total_seconds, 4),
+                    phase1_s=round(report.phase1_seconds, 4),
+                    merge_s=round(report.merge_seconds, 4),
+                    skyline=report.skyline_size,
+                )
+    return table
+
+
+def test_checkpoint_overhead(benchmark, scale, emit):
+    table = once(benchmark, lambda: _run(scale))
+    emit(table, "checkpoint_overhead")

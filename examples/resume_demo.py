@@ -1,0 +1,88 @@
+"""Kill a run mid-pipeline, then resume it from its checkpoint.
+
+A supervised run persists every completed stage (preprocess rule +
+codec, phase-1 candidate blocks, merge output) to a checkpoint
+directory.  This demo:
+
+1. starts a supervised run whose final merge is scripted to fail
+   terminally (a deterministic :class:`FaultPlan` kills every attempt
+   of its first reduce task) — the run dies, but preprocess and
+   phase 1 are already durable on disk;
+2. resumes from the checkpoint with no fault plan: only the merge
+   re-executes;
+3. verifies the resumed skyline is **bit-identical** to an
+   uninterrupted run's (ids and points).
+
+Exits non-zero on any mismatch, so CI can use it as a resume smoke
+test.
+
+Run:  python examples/resume_demo.py [checkpoint_dir]
+"""
+
+import sys
+import tempfile
+
+from repro import FaultPlan, run_plan
+from repro.core.exceptions import FaultInjectionError
+from repro.data import anticorrelated
+from repro.pipeline.supervisor import SupervisorConfig, supervised_run
+
+PLAN = "ZDG+ZS+ZM"
+
+
+def main() -> int:
+    dataset = anticorrelated(8_000, 6, seed=9)
+    ckpt = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="skyline-ckpt-"
+    )
+    print(f"dataset    : {dataset.name}")
+    print(f"checkpoint : {ckpt}\n")
+
+    reference = run_plan(PLAN, dataset, num_workers=4, seed=0)
+    print(
+        f"reference run        : skyline={reference.skyline_size} "
+        f"in {reference.total_seconds:.3f}s"
+    )
+
+    # -- 1. the doomed run: every attempt of the merge's reduce task 0
+    #       fails, exhausting the retry budget mid-pipeline ------------
+    kill_merge = FaultPlan(
+        scripted_failures={("phase2-merge:reduce", 0): 99}, max_attempts=2
+    )
+    try:
+        supervised_run(
+            PLAN, dataset, num_workers=4, seed=0,
+            fault_plan=kill_merge,
+            supervisor=SupervisorConfig(
+                checkpoint_dir=ckpt, max_stage_retries=0
+            ),
+        )
+        print("ERROR: the scripted kill did not fire", file=sys.stderr)
+        return 1
+    except FaultInjectionError as exc:
+        print(f"interrupted mid-run  : {exc}")
+
+    # -- 2. resume: preprocess + phase 1 come back from disk ----------
+    resumed = supervised_run(
+        PLAN, dataset, num_workers=4, seed=0,
+        supervisor=SupervisorConfig(checkpoint_dir=ckpt, resume=True),
+    )
+    print(
+        f"resumed run          : skyline={resumed.skyline_size} "
+        f"in {resumed.total_seconds:.3f}s "
+        f"(resumed stages: {', '.join(resumed.details['resumed_stages'])})"
+    )
+
+    # -- 3. bit-identical or bust -------------------------------------
+    if list(resumed.skyline.ids) != list(reference.skyline.ids):
+        print("ERROR: resumed skyline ids differ", file=sys.stderr)
+        return 1
+    if (resumed.skyline.points != reference.skyline.points).any():
+        print("ERROR: resumed skyline points differ", file=sys.stderr)
+        return 1
+    print("\nresumed skyline is bit-identical to the uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,29 @@ def build_parser() -> argparse.ArgumentParser:
             "'seed=7,task=0.1,crash=0.2,corrupt=0.05,attempts=5'"
         ),
     )
+    run.add_argument(
+        "--splits", type=int, default=None, metavar="N",
+        help="number of input splits (default: 2x workers)",
+    )
+    run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist each completed stage to DIR (supervised run)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the last durable stage in --checkpoint-dir",
+    )
+    run.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="whole-run wall-clock budget (supervised run)",
+    )
+    run.add_argument(
+        "--degraded-ok", action="store_true",
+        help=(
+            "return a partial, certified-subset skyline instead of "
+            "failing when phase-1 groups are terminally lost"
+        ),
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a paper figure's rows"
@@ -158,26 +181,103 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: invalid --faults spec: {exc}", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     dataset = generate(
         args.dist, args.num_points, args.dimensions, seed=args.seed
     )
-    report = run_plan_measured(
-        args.plan,
-        dataset,
-        num_groups=args.groups,
-        num_workers=args.workers,
-        sample_ratio=args.sample_ratio,
-        seed=args.seed,
-        executor=args.executor,
-        fault_plan=fault_plan,
+    supervised = (
+        args.checkpoint_dir is not None
+        or args.deadline is not None
+        or args.degraded_ok
     )
+    if supervised:
+        from repro.pipeline.supervisor import (
+            PartialRunReport,
+            SupervisorConfig,
+            supervised_run,
+        )
+
+        from repro.core.exceptions import (
+            DeadlineExceededError,
+            FaultInjectionError,
+        )
+
+        try:
+            report = supervised_run(
+                args.plan,
+                dataset,
+                supervisor=SupervisorConfig(
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
+                    deadline_seconds=args.deadline,
+                    degraded_ok=args.degraded_ok,
+                ),
+                num_groups=args.groups,
+                num_workers=args.workers,
+                sample_ratio=args.sample_ratio,
+                seed=args.seed,
+                executor=args.executor,
+                fault_plan=fault_plan,
+                num_input_splits=args.splits,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (DeadlineExceededError, FaultInjectionError) as exc:
+            print(f"run failed: {exc}", file=sys.stderr)
+            if args.checkpoint_dir:
+                print(
+                    f"completed stages are durable in "
+                    f"{args.checkpoint_dir!r}; rerun with --resume to "
+                    "continue from there",
+                    file=sys.stderr,
+                )
+            return 1
+    else:
+        try:
+            report = run_plan_measured(
+                args.plan,
+                dataset,
+                num_groups=args.groups,
+                num_workers=args.workers,
+                sample_ratio=args.sample_ratio,
+                seed=args.seed,
+                executor=args.executor,
+                fault_plan=fault_plan,
+                num_input_splits=args.splits,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     print(f"dataset   : {dataset.name}")
     for key, value in report.summary().items():
         print(f"{key:14s}: {value}")
     if fault_plan is not None:
         print(f"faults    : {fault_plan.describe()}")
-        for key, value in report.fault_summary().items():
-            print(f"  {key:24s}: {value}")
+    if supervised:
+        resumed = report.details.get("resumed_stages") or []
+        if resumed:
+            print(f"resumed   : {', '.join(resumed)}")
+        quarantined = report.details.get("input", {}).get(
+            "quarantined_records", 0
+        )
+        if quarantined:
+            print(f"quarantined: {quarantined} malformed input records")
+        if isinstance(report, PartialRunReport):
+            detail = report.completeness_detail
+            print(
+                "DEGRADED  : partial skyline "
+                f"(completeness {report.completeness:.2f}, "
+                f"candidate coverage "
+                f"{detail.get('candidate_coverage', 0.0):.2f})"
+            )
+            print(
+                f"  lost groups {detail.get('groups_lost')} may still "
+                "hide skyline points; "
+                f"{report.masked_candidates} uncertain candidates masked"
+            )
     return 0
 
 

@@ -32,3 +32,12 @@ class MapReduceError(ReproError):
 
 class FaultInjectionError(MapReduceError):
     """Raised when fault injection exhausts a task's retry budget."""
+
+
+class DeadlineExceededError(MapReduceError):
+    """Raised when a stage or whole-run wall-clock budget is exhausted.
+
+    The supervisor raises it cleanly at stage boundaries; in lenient
+    (degraded-ok) runs the reduce phase converts it into lost keys
+    instead so the run can still return a partial answer.
+    """

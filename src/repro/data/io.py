@@ -1,15 +1,23 @@
-"""Dataset import/export.
+"""Dataset import/export and input hardening.
 
 Real deployments feed the engine CSV extracts (the paper's NBA/HOU
 datasets are exactly that); these helpers round-trip
 :class:`~repro.core.dataset.Dataset` objects through CSV with an
 optional id column and header.
+
+Billion-point extracts are never pristine: :func:`sanitize_records`
+(and its CSV front-end :func:`load_csv_hardened`) validates raw rows
+and **quarantines** malformed ones — NaN/±inf coordinates, wrong
+dimensionality, duplicate ids, non-numeric cells — into counters
+instead of letting one bad record abort a long run.  The pipeline
+supervisor threads those counters into its run report as
+``input.quarantined_records``.
 """
 
 from __future__ import annotations
 
 import csv
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,6 +25,15 @@ from repro.core.dataset import Dataset
 from repro.core.exceptions import DatasetError
 
 ID_COLUMN = "id"
+
+#: quarantine counter names, in reporting order
+QUARANTINE_KEYS = (
+    "quarantined_records",
+    "nonfinite",
+    "dimension_mismatch",
+    "duplicate_ids",
+    "non_numeric",
+)
 
 
 def save_csv(
@@ -81,3 +98,126 @@ def load_csv(path: str, name: Optional[str] = None) -> Dataset:
         ids=np.asarray(ids, dtype=np.int64) if has_ids else None,
         name=name or path,
     )
+
+
+def sanitize_records(
+    rows: Sequence[Sequence[float]],
+    ids: Optional[Sequence[int]] = None,
+    dimensions: Optional[int] = None,
+    name: str = "hardened",
+) -> Tuple[Dataset, Dict[str, int]]:
+    """Validate raw records, quarantining malformed ones.
+
+    ``rows`` may be ragged; the reference dimensionality is
+    ``dimensions`` when given, else the most common row length (ties
+    broken toward the smaller width, deterministically).  Quarantined
+    rows are *counted*, never raised:
+
+    * ``nonfinite`` — a NaN or ±inf coordinate;
+    * ``dimension_mismatch`` — wrong number of coordinates;
+    * ``duplicate_ids`` — an id already seen (first occurrence wins);
+    * ``non_numeric`` — a cell that does not convert to float;
+    * ``quarantined_records`` — total of the above.
+
+    Returns the clean :class:`Dataset` plus the counter dict.  A fully
+    quarantined input is still an error (there is nothing to compute a
+    skyline of).
+    """
+    counts: Dict[str, int] = {key: 0 for key in QUARANTINE_KEYS}
+    parsed: List[Tuple[Optional[int], List[float]]] = []
+    widths: Dict[int, int] = {}
+    id_list = list(ids) if ids is not None else None
+    if id_list is not None and len(id_list) != len(rows):
+        raise DatasetError(
+            f"ids must match rows: {len(id_list)} ids for {len(rows)} rows"
+        )
+    for position, row in enumerate(rows):
+        try:
+            values = [float(v) for v in row]
+        except (TypeError, ValueError):
+            counts["non_numeric"] += 1
+            parsed.append((None, []))
+            continue
+        row_id = int(id_list[position]) if id_list is not None else None
+        parsed.append((row_id, values))
+        widths[len(values)] = widths.get(len(values), 0) + 1
+    if dimensions is None:
+        if not widths:
+            raise DatasetError("every input record was quarantined")
+        dimensions = min(
+            widths, key=lambda width: (-widths[width], width)
+        )
+    seen_ids: set = set()
+    kept_ids: List[int] = []
+    kept_rows: List[List[float]] = []
+    for row_id, values in parsed:
+        if not values and row_id is None:
+            continue  # already counted as non_numeric
+        if len(values) != dimensions:
+            counts["dimension_mismatch"] += 1
+            continue
+        if not all(np.isfinite(values)):
+            counts["nonfinite"] += 1
+            continue
+        if row_id is not None:
+            if row_id in seen_ids:
+                counts["duplicate_ids"] += 1
+                continue
+            seen_ids.add(row_id)
+            kept_ids.append(row_id)
+        kept_rows.append(values)
+    counts["quarantined_records"] = (
+        counts["nonfinite"]
+        + counts["dimension_mismatch"]
+        + counts["duplicate_ids"]
+        + counts["non_numeric"]
+    )
+    if not kept_rows:
+        raise DatasetError("every input record was quarantined")
+    dataset = Dataset(
+        np.asarray(kept_rows, dtype=np.float64),
+        ids=np.asarray(kept_ids, dtype=np.int64) if id_list is not None
+        else None,
+        name=name,
+    )
+    return dataset, counts
+
+
+def load_csv_hardened(
+    path: str, name: Optional[str] = None
+) -> Tuple[Dataset, Dict[str, int]]:
+    """Like :func:`load_csv`, but malformed rows are quarantined
+    (counted) instead of raising — the ingest path for dirty extracts.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path}: empty file") from None
+        has_ids = bool(header) and header[0] == ID_COLUMN
+        raw_ids: List[int] = []
+        raw_rows: List[List[str]] = []
+        bad_ids = 0
+        for row in reader:
+            if not row:
+                continue
+            if has_ids:
+                try:
+                    raw_ids.append(int(row[0]))
+                except ValueError:
+                    bad_ids += 1
+                    continue
+                raw_rows.append(row[1:])
+            else:
+                raw_rows.append(row)
+    if not raw_rows:
+        raise DatasetError(f"{path}: no data rows")
+    dataset, counts = sanitize_records(
+        raw_rows,
+        ids=raw_ids if has_ids else None,
+        name=name or path,
+    )
+    counts["non_numeric"] += bad_ids
+    counts["quarantined_records"] += bad_ids
+    return dataset, counts

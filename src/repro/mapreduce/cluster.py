@@ -33,6 +33,22 @@ T = TypeVar("T")
 Task = Callable[[], Tuple[T, int]]
 
 
+@dataclass(frozen=True)
+class LostTask:
+    """Sentinel result for a task terminally lost in a *lenient* round.
+
+    Hadoop's ``mapreduce.reduce.failures.maxpercent`` knob lets a job
+    succeed despite a bounded fraction of failed reduce tasks; lenient
+    rounds are that semantics: instead of aborting the round, the
+    exhausted task's slot holds this sentinel and the caller decides
+    what losing it means (the pipeline supervisor turns lost phase-1
+    groups into a degraded partial skyline).
+    """
+
+    index: int
+    error: MapReduceError
+
+
 @dataclass
 class WorkerLedger:
     """Accrued work of one worker within one phase."""
@@ -156,6 +172,7 @@ class SimulatedCluster:
         phase: str,
         tasks: Sequence[Task],
         placement: Optional[Sequence[int]] = None,
+        lenient: bool = False,
     ) -> List[T]:
         """Execute a round of tasks, attributing each to a worker.
 
@@ -163,6 +180,10 @@ class SimulatedCluster:
         round-robin, which is how Hadoop spreads splits/reduce keys when
         counts exceed slots.  Returns task results in task order and
         appends a :class:`ClusterMetrics` entry to :attr:`history`.
+
+        With ``lenient=True`` a task that exhausts its retry budget does
+        not abort the round: its result slot holds a :class:`LostTask`
+        and the remaining tasks still run.
         """
         if placement is None:
             placement = [i % self.num_workers for i in range(len(tasks))]
@@ -175,7 +196,7 @@ class SimulatedCluster:
             if not (0 <= worker < self.num_workers):
                 raise MapReduceError(f"worker id {worker} out of range")
             result, cost, elapsed, failures, backoff = self._run_attempts(
-                phase, index, task
+                phase, index, task, lenient=lenient
             )
             executions.append((worker, elapsed, cost, failures, backoff))
             results.append(result)
@@ -189,14 +210,16 @@ class SimulatedCluster:
         return results
 
     def _run_attempts(
-        self, phase: str, index: int, task: Task
+        self, phase: str, index: int, task: Task, lenient: bool = False
     ) -> Tuple[T, int, float, int, float]:
         """Run one task under the fault plan's retry loop.
 
         Injected failures strike *before* the task body runs (the
         attempt dies on startup), so a retried task never double-counts
         job counters or abstract cost.  Returns ``(result, cost,
-        elapsed_seconds, failed_attempts, backoff_seconds)``.
+        elapsed_seconds, failed_attempts, backoff_seconds)``.  In
+        lenient mode budget exhaustion yields a :class:`LostTask`
+        result (cost 0) instead of raising.
         """
         plan = self.fault_plan
         failures = 0
@@ -209,12 +232,22 @@ class SimulatedCluster:
                 failures += 1
                 backoff += plan.backoff_seconds(attempt)
                 if attempt >= plan.max_attempts:
-                    raise FaultInjectionError(
+                    error = FaultInjectionError(
                         f"task {index} in phase {phase!r} exhausted "
                         f"{plan.max_attempts} attempts"
-                    ) from TransientTaskError(
+                    )
+                    error.__cause__ = TransientTaskError(
                         f"injected failure on attempt {attempt}"
                     )
+                    if lenient:
+                        return (
+                            LostTask(index, error),  # type: ignore[return-value]
+                            0,
+                            0.0,
+                            failures,
+                            backoff,
+                        )
+                    raise error
                 attempt += 1
                 continue
             start = time.perf_counter()

@@ -215,5 +215,5 @@ class FaultPlan:
         return (
             f"seed={self.seed} task={self.task_failure_rate} "
             f"crash={self.worker_crash_rate} corrupt={self.corruption_rate} "
-            f"attempts={self.max_attempts}"
+            f"attempts={self.max_attempts} backoff={self.backoff_base}"
         )

@@ -24,12 +24,16 @@ class InMemoryDFS:
         self.records_written = 0
         self.records_read = 0
 
-    def write(self, path: str, blocks: List[Block]) -> None:
-        """Create a file; overwriting is an error (HDFS files are
-        immutable once closed).  Block checksums are recorded at write
-        time so later integrity audits (:meth:`verify`) can detect
-        corruption, mirroring HDFS's per-block CRC files."""
-        if path in self._files:
+    def write(
+        self, path: str, blocks: List[Block], overwrite: bool = False
+    ) -> None:
+        """Create a file; overwriting is an error unless ``overwrite``
+        (HDFS files are immutable once closed, but a retried/resumed job
+        may legitimately replace its own earlier attempt's output).
+        Block checksums are recorded at write time so later integrity
+        audits (:meth:`verify`) can detect corruption, mirroring HDFS's
+        per-block CRC files."""
+        if path in self._files and not overwrite:
             raise MapReduceError(f"DFS path {path!r} already exists")
         self._files[path] = list(blocks)
         self._checksums[path] = [block.checksum() for block in blocks]

@@ -65,6 +65,7 @@ FAULT_COUNTER_KEYS: "tuple" = (
     ("map", "reexecuted_tasks"),
     ("reduce", "failed_attempts"),
     ("reduce", "retries"),
+    ("reduce", "lost_tasks"),
     ("shuffle", "corrupt_blocks"),
     ("shuffle", "refetched_bytes"),
     ("dfs", "skipped_outputs"),

@@ -66,6 +66,7 @@ class ThreadedCluster(SimulatedCluster):
         phase: str,
         tasks: Sequence,
         placement: Optional[Sequence[int]] = None,
+        lenient: bool = False,
     ) -> List:
         self._check_unsupported()
         if placement is None:
@@ -96,7 +97,7 @@ class ThreadedCluster(SimulatedCluster):
             for index, task in queues[worker_id]:
                 try:
                     result, cost, elapsed, failures, backoff = (
-                        self._run_attempts(phase, index, task)
+                        self._run_attempts(phase, index, task, lenient=lenient)
                     )
                 except Exception as exc:  # noqa: BLE001 — isolation point
                     if isinstance(exc, MapReduceError):

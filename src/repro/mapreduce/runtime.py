@@ -37,16 +37,54 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.exceptions import MapReduceError
+import numpy as np
+
+from repro.core.exceptions import DeadlineExceededError, MapReduceError
 from repro.mapreduce.cache import DistributedCache
-from repro.mapreduce.cluster import ClusterMetrics, SimulatedCluster
+from repro.mapreduce.cluster import ClusterMetrics, LostTask, SimulatedCluster
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
 from repro.mapreduce.types import Block
+
+
+@dataclass(frozen=True)
+class ReducePolicy:
+    """How the reduce phase treats terminal task loss and deadlines.
+
+    lenient:
+        A reduce task that exhausts its retry budget
+        (:class:`~repro.core.exceptions.FaultInjectionError`) loses its
+        key instead of aborting the job — Hadoop's
+        ``mapreduce.reduce.failures.maxpercent`` semantics.  Lost keys
+        are reported in ``JobResult.extras`` (see below) so a caller
+        can degrade gracefully.
+    deadline:
+        Optional ``time.monotonic()`` timestamp.  A reduce task that
+        has not *started* by the deadline raises
+        :class:`~repro.core.exceptions.DeadlineExceededError` (strict)
+        or loses its key (lenient).
+
+    With ``lenient=True`` the job result's ``extras`` carry:
+
+    * ``"lost_keys"`` — sorted lost reduce keys;
+    * ``"lost_reasons"`` — ``{key: str(error)}``;
+    * ``"lost_floors"`` — ``{key: per-dimension minimum}`` over the
+      blocks shuffled for that key (Hadoop retains map-output index
+      metadata even when a reducer dies; the componentwise floor is the
+      cheap sound bound a degraded merge needs to certify that a
+      surviving point cannot be dominated by anything the lost key
+      held);
+    * ``"reduce_input_records"`` — ``{key: shuffled records}`` for
+      coverage accounting.
+    """
+
+    lenient: bool = False
+    deadline: Optional[float] = None
 
 
 class MapReduceRuntime:
@@ -69,31 +107,47 @@ class MapReduceRuntime:
             if fault_plan is not None
             else getattr(cluster, "fault_plan", None)
         )
+        #: reruns of the same output path get attempt-scoped paths so a
+        #: retried/resumed job never collides with its earlier output
+        self._output_attempts: Dict[str, int] = {}
 
     def run(
         self,
         job: MapReduceJob,
         input_blocks: Sequence[Block],
         output_path: Optional[str] = None,
+        reduce_policy: Optional[ReducePolicy] = None,
+        attempt: int = 0,
     ) -> JobResult:
         """Execute ``job`` over the given input splits.
 
         When ``output_path`` is given and the reduce outputs are blocks,
         they are also written to the DFS (accounted); non-block outputs
-        are skipped and counted under ``dfs.skipped_outputs``.
+        are skipped and counted under ``dfs.skipped_outputs``.  Re-runs
+        against the same path write to an attempt-scoped path
+        (``<path>/attempt-<k>``) instead of crashing on the immutable
+        DFS file.
+
+        ``attempt`` tags the whole job execution (phase names become
+        ``<job>@<attempt>:map`` etc. for ``attempt > 0``): a
+        supervisor-level whole-job retry draws a fresh fault schedule
+        rather than deterministically replaying the one that killed it.
         """
         if not input_blocks:
             raise MapReduceError("job needs at least one input split")
         started = time.perf_counter()
         counters = Counters()
+        job_tag = job.name if attempt == 0 else f"{job.name}@{attempt}"
 
         map_outputs, map_metrics, recovery_metrics = self._map_phase(
-            job, input_blocks, counters
+            job, job_tag, input_blocks, counters
         )
         grouped, shuffle_records, shuffle_bytes = self._shuffle(
-            job.name, map_outputs, counters
+            job_tag, map_outputs, counters
         )
-        outputs = self._reduce_phase(job, grouped, counters)
+        outputs, lost = self._reduce_phase(
+            job, job_tag, grouped, counters, reduce_policy
+        )
 
         if output_path is not None:
             block_outputs = []
@@ -105,25 +159,35 @@ class MapReduceRuntime:
                     skipped += 1
             if skipped:
                 counters.inc("dfs", "skipped_outputs", skipped)
-            self.dfs.write(output_path, block_outputs)
+            rerun = self._output_attempts.get(output_path, 0)
+            self._output_attempts[output_path] = rerun + 1
+            actual_path = (
+                output_path if rerun == 0
+                else f"{output_path}/attempt-{rerun}"
+            )
+            self.dfs.write(actual_path, block_outputs)
 
         elapsed = time.perf_counter() - started
-        return JobResult(
+        result = JobResult(
             job_name=job.name,
             outputs=outputs,
             counters=counters,
             map_metrics=map_metrics,
-            reduce_metrics=self.cluster.metrics_for(f"{job.name}:reduce"),
+            reduce_metrics=self.cluster.metrics_for(f"{job_tag}:reduce"),
             shuffle_records=shuffle_records,
             shuffle_bytes=shuffle_bytes,
             elapsed_seconds=elapsed,
             recovery_metrics=recovery_metrics,
         )
+        if lost is not None:
+            result.extras.update(lost)
+        return result
 
     # ------------------------------------------------------------------
     def _map_phase(
         self,
         job: MapReduceJob,
+        job_tag: str,
         input_blocks: Sequence[Block],
         counters: Counters,
     ) -> Tuple[
@@ -131,7 +195,7 @@ class MapReduceRuntime:
         ClusterMetrics,
         Optional[ClusterMetrics],
     ]:
-        phase = f"{job.name}:map"
+        phase = f"{job_tag}:map"
 
         def make_task(block: Block):
             def task() -> Tuple[
@@ -290,14 +354,26 @@ class MapReduceRuntime:
     def _reduce_phase(
         self,
         job: MapReduceJob,
+        job_tag: str,
         grouped: Dict[int, List[Block]],
         counters: Counters,
-    ) -> Dict[int, object]:
-        phase = f"{job.name}:reduce"
+        policy: Optional[ReducePolicy] = None,
+    ) -> Tuple[Dict[int, object], Optional[Dict[str, object]]]:
+        phase = f"{job_tag}:reduce"
         keys = sorted(grouped)
+        lenient = policy is not None and policy.lenient
+        deadline = policy.deadline if policy is not None else None
 
-        def make_task(key: int):
+        def make_task(key: int, index: int):
             def task() -> Tuple[object, int]:
+                if deadline is not None and time.monotonic() >= deadline:
+                    error = DeadlineExceededError(
+                        f"reduce key {key} of {job.name!r} not started "
+                        f"before the deadline"
+                    )
+                    if lenient:
+                        return LostTask(index, error), 0
+                    raise error
                 ctx = TaskContext(self.cache, counters)
                 blocks = grouped[key]
                 in_records = sum(b.size for b in blocks)
@@ -309,10 +385,49 @@ class MapReduceRuntime:
 
             return task
 
-        tasks = [make_task(key) for key in keys]
-        results = self.cluster.run_round(phase, tasks)
+        tasks = [make_task(key, index) for index, key in enumerate(keys)]
+        results = self.cluster.run_round(phase, tasks, lenient=lenient)
         failed = self.cluster.metrics_for(phase).failed_attempts
         if failed:
             counters.inc("reduce", "failed_attempts", failed)
             counters.inc("reduce", "retries", failed)
-        return dict(zip(keys, results))
+
+        outputs: Dict[int, object] = {}
+        lost_keys: List[int] = []
+        lost_reasons: Dict[int, str] = {}
+        lost_floors: Dict[int, List[float]] = {}
+        for key, result in zip(keys, results):
+            if isinstance(result, LostTask):
+                lost_keys.append(key)
+                lost_reasons[key] = str(result.error)
+                floor = self._key_floor(grouped[key])
+                if floor is not None:
+                    lost_floors[key] = floor
+                continue
+            outputs[key] = result
+        if not lenient:
+            return outputs, None
+        if lost_keys:
+            counters.inc("reduce", "lost_tasks", len(lost_keys))
+        return outputs, {
+            "lost_keys": lost_keys,
+            "lost_reasons": lost_reasons,
+            "lost_floors": lost_floors,
+            "reduce_input_records": {
+                key: sum(b.size for b in grouped[key]) for key in keys
+            },
+        }
+
+    @staticmethod
+    def _key_floor(blocks: List[Block]) -> Optional[List[float]]:
+        """Componentwise minimum over a key's shuffled blocks.
+
+        Any record the lost reducer held is ``>=`` this corner in every
+        dimension, so a point the corner does not dominate cannot be
+        dominated by anything the key held — the certificate the
+        degraded merge filters with.
+        """
+        mins = [b.points.min(axis=0) for b in blocks if b.size > 0]
+        if not mins:
+            return None
+        return [float(v) for v in np.minimum.reduce(mins)]

@@ -12,10 +12,15 @@
   tying the phases together and producing a
   :class:`~repro.pipeline.driver.RunReport`;
 * :mod:`repro.pipeline.gpmrs` — the MR-GPMRS baseline (grid + bitstring
-  + multi-reducer merge) [12].
+  + multi-reducer merge) [12];
+* :mod:`repro.pipeline.checkpoint` — versioned on-disk stage
+  checkpoints (atomic manifest + CRC-guarded block payloads);
+* :mod:`repro.pipeline.supervisor` — the checkpointed, resumable,
+  gracefully-degrading driver around the same three phases.
 """
 
 from repro.pipeline.advisor import Advice, advise
+from repro.pipeline.checkpoint import CheckpointStore
 from repro.pipeline.compare import compare_plans
 from repro.pipeline.driver import EngineConfig, RunReport, SkylineEngine
 from repro.pipeline.gpmrs import run_gpmrs
@@ -27,14 +32,24 @@ from repro.pipeline.serialization import (
     rule_from_json,
     rule_to_json,
 )
+from repro.pipeline.supervisor import (
+    PartialRunReport,
+    PipelineSupervisor,
+    SupervisorConfig,
+    supervised_run,
+)
 
 __all__ = [
     "Advice",
+    "CheckpointStore",
     "EngineConfig",
+    "PartialRunReport",
+    "PipelineSupervisor",
     "PlanConfig",
     "PreprocessResult",
     "RunReport",
     "SkylineEngine",
+    "SupervisorConfig",
     "advise",
     "compare_plans",
     "distributed_dominance_scores",
@@ -44,4 +59,5 @@ __all__ = [
     "rule_from_json",
     "rule_to_json",
     "run_gpmrs",
+    "supervised_run",
 ]

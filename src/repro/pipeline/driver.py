@@ -230,8 +230,10 @@ class RunReport:
         return sum(job.recovery_cost for job in self._jobs())
 
     def summary(self) -> Dict[str, object]:
-        """Flat dict of the headline numbers (bench harness rows)."""
-        return {
+        """Flat dict of the headline numbers (bench harness rows),
+        including the failure/recovery counters — a row from a faulty
+        run is distinguishable from a clean one at a glance."""
+        out = {
             "plan": self.plan.label,
             "skyline": self.skyline_size,
             "candidates": self.num_candidates,
@@ -246,7 +248,25 @@ class RunReport:
             "total_s": round(self.total_seconds, 4),
             "makespan_cost": self.makespan_cost,
             "reducer_skew": round(self.reducer_skew, 3),
+            "recovery_cost": self.recovery_cost,
         }
+        out.update(self.fault_summary())
+        return out
+
+
+def make_cluster(cfg: EngineConfig) -> SimulatedCluster:
+    """Build the configured executor (shared by engine and supervisor)."""
+    if cfg.executor == "threaded":
+        from repro.mapreduce.parallel import ThreadedCluster
+
+        return ThreadedCluster(cfg.num_workers, fault_plan=cfg.fault_plan)
+    return SimulatedCluster(
+        cfg.num_workers,
+        slowdown_factors=cfg.slowdown_factors,
+        speculative=cfg.speculative,
+        failed_workers=cfg.failed_workers,
+        fault_plan=cfg.fault_plan,
+    )
 
 
 class SkylineEngine:
@@ -279,20 +299,7 @@ class SkylineEngine:
             seed=cfg.seed,
         )
 
-        if cfg.executor == "threaded":
-            from repro.mapreduce.parallel import ThreadedCluster
-
-            cluster: SimulatedCluster = ThreadedCluster(
-                cfg.num_workers, fault_plan=cfg.fault_plan
-            )
-        else:
-            cluster = SimulatedCluster(
-                cfg.num_workers,
-                slowdown_factors=cfg.slowdown_factors,
-                speculative=cfg.speculative,
-                failed_workers=cfg.failed_workers,
-                fault_plan=cfg.fault_plan,
-            )
+        cluster = make_cluster(cfg)
         cache = DistributedCache()
         pre.publish(cache)
         runtime = MapReduceRuntime(

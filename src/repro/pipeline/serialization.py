@@ -179,6 +179,8 @@ def report_to_dict(report: RunReport) -> Dict[str, Any]:
             "phase1": report.phase1.counters.as_dict(),
             "phase2": report.phase2.counters.as_dict(),
         },
+        "faults": report.fault_summary(),
+        "recovery_cost": report.recovery_cost,
         "skyline_ids": report.skyline.ids.tolist(),
     }
 

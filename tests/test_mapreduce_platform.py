@@ -83,6 +83,13 @@ class TestDFS:
         with pytest.raises(MapReduceError):
             dfs.write("f", [])
 
+    def test_explicit_overwrite_replaces_content(self):
+        dfs = InMemoryDFS()
+        first, second = self.make_block(n=2), self.make_block(n=6)
+        dfs.write("f", [first])
+        dfs.write("f", [second], overwrite=True)
+        assert dfs.read("f") == [second]
+
     def test_read_missing(self):
         with pytest.raises(MapReduceError):
             InMemoryDFS().read("missing")

@@ -138,3 +138,31 @@ class TestRuntime:
         )
         assert result.outputs == {}
         assert result.shuffle_records == 0
+
+    def test_rerun_same_output_path_does_not_crash(self):
+        """Regression: rerunning a job against the same DFS output path
+        used to die on the DFS "path already exists" check.  Reruns now
+        land in attempt-scoped paths, keeping every attempt's output."""
+
+        def id_mapper(block, ctx):
+            yield 0, block
+
+        def passthrough_reducer(key, blocks, ctx):
+            return Block.concat(blocks)
+
+        runtime = MapReduceRuntime(SimulatedCluster(2))
+        job = MapReduceJob("rerun", id_mapper, passthrough_reducer)
+        first = runtime.run(job, make_blocks(), output_path="out")
+        second = runtime.run(job, make_blocks(), output_path="out")
+        assert first.outputs.keys() == second.outputs.keys()
+        assert runtime.dfs.read("out")
+        assert runtime.dfs.read("out/attempt-1")
+
+    def test_retry_attempt_tags_phases(self):
+        """attempt > 0 re-tags the job's phases so a deterministic fault
+        schedule draws a fresh outcome on the whole-job retry."""
+        runtime = MapReduceRuntime(SimulatedCluster(2))
+        job = MapReduceJob("tagged", partition_by_parity, count_reducer)
+        retried = runtime.run(job, make_blocks(), attempt=2)
+        assert retried.map_metrics.phase == "tagged@2:map"
+        assert retried.outputs == {0: 20, 1: 20}

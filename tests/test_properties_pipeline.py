@@ -68,3 +68,22 @@ def test_pipeline_exact_on_random_configs(plan, dist, seed):
         plan, ds, num_groups=6, num_workers=3, bits_per_dim=9, seed=seed
     )
     assert is_skyline_of(report.skyline.points, snapped.points)
+
+
+@given(snapped_dataset(), PARTITIONERS, st.integers(2, 12))
+@settings(max_examples=25, deadline=None)
+def test_rule_serialisation_preserves_assignment(sc, name, num_groups):
+    """Every rule kind must survive the JSON wire format with its group
+    assignment intact — the checkpoint store (and a real deployment's
+    distributed cache) ships rules exactly this way."""
+    from repro.pipeline.serialization import rule_from_json, rule_to_json
+
+    snapped, codec = sc
+    sample = reservoir_sample(snapped, ratio=0.2, seed=0)
+    rule = get_partitioner(name).fit(sample, codec, num_groups, seed=0)
+    restored = rule_from_json(rule_to_json(rule))
+    assert restored.num_groups == rule.num_groups
+    assert np.array_equal(
+        rule.assign_groups(snapped.points, snapped.ids),
+        restored.assign_groups(snapped.points, snapped.ids),
+    )
