@@ -1,0 +1,85 @@
+"""Cost of the observability layer on a Figure-9-style workload.
+
+Two claims, both load-bearing for the tracing design:
+
+* **off is free** — with the default ``NULL_TRACER`` the runtime pays a
+  single boolean check per task, so a run with tracing disabled must be
+  no slower (within noise) than a fully traced run minus its span cost;
+  the assertion bounds the disabled path at 5% of the traced wall time.
+* **on is bounded** — enabling tracing + metrics may not blow up the
+  run either; the table records the measured ratio so regressions are
+  visible in the CSV history.
+
+Min-of-repeats is used on both sides: the minimum is the standard
+robust estimator for "how fast can this code go", which is exactly the
+quantity an overhead comparison needs.
+"""
+
+from conftest import once
+
+from repro.bench.harness import ResultTable, run_plan_measured
+from repro.data.synthetic import independent
+from repro.observability import Tracer
+
+PLAN = "ZDG+ZS+ZM"
+REPEATS = 3
+
+
+def _fig9_dataset(scale):
+    # Figure 9's mid-size point: 60M paper points, d=5, independent.
+    return independent(scale.size(60), 5, seed=0)
+
+
+def _min_wall(dataset, **kwargs):
+    reports = [
+        run_plan_measured(PLAN, dataset, num_workers=8, **kwargs)
+        for _ in range(REPEATS)
+    ]
+    return min(r.total_seconds for r in reports), reports[-1]
+
+
+def _run(scale):
+    dataset = _fig9_dataset(scale)
+    table = ResultTable(
+        "observability overhead (fig-9 workload)",
+        ["mode", "total_s", "ratio_vs_traced", "spans", "skyline"],
+    )
+
+    traced_s, traced_report = _min_wall(dataset, tracer=Tracer())
+    off_s, off_report = _min_wall(dataset)
+
+    assert off_report.trace is None
+    assert traced_report.trace is not None
+    traced_report.trace.validate()
+    assert sorted(off_report.skyline.ids) == sorted(
+        traced_report.skyline.ids
+    )
+
+    table.add(
+        mode="tracing-off",
+        total_s=round(off_s, 4),
+        ratio_vs_traced=round(off_s / traced_s, 3),
+        spans=0,
+        skyline=off_report.skyline_size,
+    )
+    table.add(
+        mode="tracing-on",
+        total_s=round(traced_s, 4),
+        ratio_vs_traced=1.0,
+        spans=len(traced_report.trace.spans),
+        skyline=traced_report.skyline_size,
+    )
+
+    # The acceptance bound: with tracing off the instrumented runtime
+    # costs at most 5% of the traced run's wall time (25ms absolute
+    # slack absorbs scheduler noise on tiny CI-scaled workloads).
+    assert off_s <= traced_s * 1.05 + 0.025, (
+        f"tracing-off run ({off_s:.4f}s) slower than traced run "
+        f"({traced_s:.4f}s) by more than the 5% budget"
+    )
+    return table
+
+
+def test_observability_overhead(benchmark, scale, emit):
+    table = once(benchmark, lambda: _run(scale))
+    emit(table, "observability_overhead")

@@ -27,6 +27,7 @@ from repro.core.point import DominanceRelation, compare, dominates
 from repro.core.skyline import skyline_oracle
 from repro.maintenance import SkylineMaintainer
 from repro.mapreduce.faults import FaultPlan
+from repro.observability import MetricsRegistry, Tracer
 from repro.pipeline.advisor import Advice, advise
 from repro.pipeline.driver import (
     EngineConfig,
@@ -45,10 +46,12 @@ __all__ = [
     "DominanceRelation",
     "EngineConfig",
     "FaultPlan",
+    "MetricsRegistry",
     "PlanConfig",
     "RunReport",
     "SkylineEngine",
     "SkylineMaintainer",
+    "Tracer",
     "advise",
     "compare",
     "dominates",

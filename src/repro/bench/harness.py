@@ -20,8 +20,15 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from typing import Optional
+
 from repro.core.dataset import Dataset
-from repro.pipeline.driver import EngineConfig, RunReport, SkylineEngine
+from repro.pipeline.driver import (
+    EngineConfig,
+    RunReport,
+    SkylineEngine,
+    export_observability,
+)
 from repro.pipeline.gpmrs import run_gpmrs
 from repro.pipeline.plans import parse_plan
 
@@ -117,12 +124,16 @@ def run_plan_measured(
     sample_ratio: float = 0.02,
     bits_per_dim: int = 12,
     seed: int = 0,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
     **kwargs: object,
 ) -> RunReport:
     """Run one strategy on one dataset with benchmark defaults.
 
     ``plan`` may be any parseable plan string or the special name
-    ``"MR-GPMRS"``.
+    ``"MR-GPMRS"``.  ``trace_out`` / ``metrics_out`` write the run's
+    span trace and unified metrics as JSONL, so a benchmark row can be
+    audited (or regenerated) from its exported evidence.
     """
     if plan.strip().upper() in ("MR-GPMRS", "GPMRS"):
         config = EngineConfig(
@@ -132,9 +143,16 @@ def run_plan_measured(
             sample_ratio=sample_ratio,
             bits_per_dim=bits_per_dim,
             seed=seed,
+            trace_out=trace_out,
+            metrics_out=metrics_out,
             **kwargs,  # type: ignore[arg-type]
         )
-        return run_gpmrs(dataset, config)
+        report = run_gpmrs(dataset, config)
+        # The baseline pipeline is not span-instrumented; metrics are
+        # still exported post hoc from the job counters so every
+        # benchmark row has the same evidence trail.
+        export_observability(config, report)
+        return report
     config = EngineConfig(
         plan=parse_plan(plan),
         num_groups=num_groups,
@@ -142,6 +160,8 @@ def run_plan_measured(
         sample_ratio=sample_ratio,
         bits_per_dim=bits_per_dim,
         seed=seed,
+        trace_out=trace_out,
+        metrics_out=metrics_out,
         **kwargs,  # type: ignore[arg-type]
     )
     return SkylineEngine(config).run(dataset)

@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
             "failing when phase-1 groups are terminally lost"
         ),
     )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export the run's span trace as JSONL (enables tracing)",
+    )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="export unified metrics (counters/timers/histograms) as JSONL",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a paper figure's rows"
@@ -221,6 +229,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 fault_plan=fault_plan,
                 num_input_splits=args.splits,
+                trace_out=args.trace_out,
+                metrics_out=args.metrics_out,
             )
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -247,6 +257,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 fault_plan=fault_plan,
                 num_input_splits=args.splits,
+                trace_out=args.trace_out,
+                metrics_out=args.metrics_out,
             )
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -256,6 +268,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{key:14s}: {value}")
     if fault_plan is not None:
         print(f"faults    : {fault_plan.describe()}")
+    for label, path in (
+        ("trace", report.details.get("trace_out")),
+        ("metrics", report.details.get("metrics_out")),
+    ):
+        if path:
+            print(f"{label:10s}: wrote {path}")
     if supervised:
         resumed = report.details.get("resumed_stages") or []
         if resumed:

@@ -20,12 +20,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 
 from repro.core.exceptions import FaultInjectionError, MapReduceError
 from repro.mapreduce.faults import FaultPlan, TransientTaskError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.observability.metrics import MetricsRegistry
 
 T = TypeVar("T")
 
@@ -114,6 +125,11 @@ class ClusterMetrics:
         """Total accounted retry backoff across workers."""
         return sum(w.backoff_seconds for w in self.ledgers)
 
+    def active_ledgers(self) -> List[WorkerLedger]:
+        """Ledgers of workers that actually ran tasks this phase (the
+        population the per-worker load-balance histograms are over)."""
+        return [w for w in self.ledgers if w.tasks > 0]
+
 
 class SimulatedCluster:
     """A fixed pool of workers executing task rounds.
@@ -166,6 +182,10 @@ class SimulatedCluster:
         self.failed_workers = failed
         self.fault_plan = fault_plan
         self.history: List[ClusterMetrics] = []
+        #: optional :class:`~repro.observability.metrics.MetricsRegistry`
+        #: receiving live per-task wall-second samples; None (default)
+        #: keeps the execution path observation-free
+        self.observer: Optional["MetricsRegistry"] = None
 
     def run_round(
         self,
@@ -198,6 +218,8 @@ class SimulatedCluster:
             result, cost, elapsed, failures, backoff = self._run_attempts(
                 phase, index, task, lenient=lenient
             )
+            if self.observer is not None:
+                self.observer.observe("cluster.task_seconds", elapsed)
             executions.append((worker, elapsed, cost, failures, backoff))
             results.append(result)
         ledgers = self._build_ledgers(executions)

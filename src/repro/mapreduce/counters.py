@@ -40,6 +40,21 @@ class Counters:
         with self._lock:
             return dict(self._data.get(group, {}))
 
+    def update_from_dict(self, data: Dict[str, Dict[str, int]]) -> None:
+        """Accumulate a nested ``group -> name -> value`` dict (the
+        inverse of :meth:`as_dict`; used when counters round-trip
+        through a checkpoint or metrics export)."""
+        with self._lock:
+            for group, names in data.items():
+                for name, value in names.items():
+                    self._data[group][name] += int(value)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, int]]) -> "Counters":
+        counters = cls()
+        counters.update_from_dict(data)
+        return counters
+
     def merge(self, other: "Counters") -> None:
         """Accumulate another counter set into this one."""
         with other._lock:

@@ -54,6 +54,37 @@ class InMemoryDFS:
     def exists(self, path: str) -> bool:
         return path in self._files
 
+    def latest_path(self, path: str) -> str:
+        """Resolve the newest attempt of an output path.
+
+        A retried/resumed job writes to ``<path>/attempt-<k>`` (the
+        base path is attempt 0), so a reader naively opening ``path``
+        sees the *stale first attempt*.  This returns the concrete path
+        of the highest attempt that exists — the file a resumed reader
+        actually wants.
+        """
+        prefix = f"{path}/attempt-"
+        best_attempt = 0 if path in self._files else None
+        best_path = path
+        for candidate in self._files:
+            if not candidate.startswith(prefix):
+                continue
+            suffix = candidate[len(prefix):]
+            if not suffix.isdigit():
+                continue
+            attempt = int(suffix)
+            if best_attempt is None or attempt > best_attempt:
+                best_attempt = attempt
+                best_path = candidate
+        if best_attempt is None:
+            raise MapReduceError(f"DFS path {path!r} does not exist")
+        return best_path
+
+    def latest(self, path: str) -> List[Block]:
+        """Read the newest attempt of ``path`` (accounted like
+        :meth:`read`)."""
+        return self.read(self.latest_path(path))
+
     def verify(self, path: str) -> bool:
         """Recompute a file's block checksums against the write-time
         record; ``True`` when the payload is intact."""

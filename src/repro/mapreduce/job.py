@@ -16,9 +16,21 @@ task's abstract cost on the worker ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.core.exceptions import MapReduceError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.observability.metrics import MetricsRegistry
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.cluster import ClusterMetrics
 from repro.mapreduce.counters import Counters
@@ -31,12 +43,31 @@ Reducer = Callable[[int, List[Block], "TaskContext"], Any]
 
 
 class TaskContext:
-    """Per-task execution context."""
+    """Per-task execution context.
 
-    def __init__(self, cache: DistributedCache, counters: Counters) -> None:
+    ``metrics`` (optional) is the run's
+    :class:`~repro.observability.metrics.MetricsRegistry`; ``span`` is
+    the task's trace span — both are ``None`` on untraced runs, and
+    :meth:`observe` degrades to a no-op so job code never branches.
+    """
+
+    def __init__(
+        self,
+        cache: DistributedCache,
+        counters: Counters,
+        metrics: Optional["MetricsRegistry"] = None,
+        span: Optional[Any] = None,
+    ) -> None:
         self.cache = cache
         self.counters = counters
         self.ops = OpCounter()
+        self.metrics = metrics
+        self.span = span
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram sample (no-op when metrics are off)."""
+        if self.metrics is not None:
+            self.metrics.observe(name, value)
 
     def cost_units(self, records: int = 0) -> int:
         """Abstract cost of the task: records touched + dominance work."""
@@ -88,14 +119,28 @@ class JobResult:
     #: metrics of the map re-execution round after a worker crash lost
     #: completed map output (None when no recovery round ran)
     recovery_metrics: Optional[ClusterMetrics] = None
+    #: whole-job execution attempt (a supervisor-level retry runs the
+    #: same job under attempt 1, 2, ...); 0 on a first execution
+    attempt: int = 0
+
+    @property
+    def tagged_name(self) -> str:
+        """Job name carrying the attempt tag — ``phase1@2`` — so a
+        retried job is distinguishable in reports and fault summaries."""
+        if self.attempt == 0:
+            return self.job_name
+        return f"{self.job_name}@{self.attempt}"
 
     def fault_summary(self) -> Dict[str, int]:
         """Flat ``"group.name" -> value`` view of the failure counters
-        (all keys present, zero when the fault never fired)."""
-        return {
+        (all keys present, zero when the fault never fired), plus the
+        job's execution attempt under ``"job.attempt"``."""
+        out = {
             f"{group}.{name}": self.counters.get(group, name)
             for group, name in FAULT_COUNTER_KEYS
         }
+        out["job.attempt"] = self.attempt
+        return out
 
     @property
     def recovery_cost(self) -> int:

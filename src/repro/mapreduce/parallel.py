@@ -117,6 +117,10 @@ class ThreadedCluster(SimulatedCluster):
                 ledger.failed_attempts += failures
                 ledger.backoff_seconds += backoff
                 results[index] = result
+                # The registry is thread-safe; worker threads observe
+                # concurrently without coordination.
+                if self.observer is not None:
+                    self.observer.observe("cluster.task_seconds", elapsed)
 
         if tasks:
             with ThreadPoolExecutor(max_workers=self.num_workers) as pool:

@@ -31,6 +31,17 @@ faulted run reports the same ``map.*``/``phase1.*`` record counts as a
 clean one.  The recovery work itself is observable through
 ``map.failed_attempts``, ``map.worker_crashes``, ``map.lost_map_outputs``,
 ``reduce.retries``, and ``shuffle.corrupt_blocks``.
+
+Observability: when a :class:`~repro.observability.tracer.Tracer` is
+attached, the runtime emits a span per job, per phase (map / shuffle /
+reduce), and per task, with records in/out, dominance-test counts, and
+shuffle volume as span attributes.  A map task whose output is lost to
+a worker crash has its span marked superseded when the re-execution
+replaces it, so aggregating non-superseded span attributes reproduces
+the job counters exactly.  The default tracer is the shared no-op
+(:data:`~repro.observability.tracer.NULL_TRACER`) and per-task
+instrumentation is guarded on ``tracer.enabled`` — a disabled run pays
+one boolean test per task.
 """
 
 from __future__ import annotations
@@ -50,6 +61,8 @@ from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
 from repro.mapreduce.types import Block
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import NULL_TRACER, SUPERSEDED, Span, Tracer
 
 
 @dataclass(frozen=True)
@@ -96,6 +109,8 @@ class MapReduceRuntime:
         dfs: Optional[InMemoryDFS] = None,
         cache: Optional[DistributedCache] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cluster = cluster
         self.dfs = dfs if dfs is not None else InMemoryDFS()
@@ -107,6 +122,11 @@ class MapReduceRuntime:
             if fault_plan is not None
             else getattr(cluster, "fault_plan", None)
         )
+        #: span tracer (the shared no-op unless a run enables tracing)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: unified metrics registry shared by this runtime's tasks
+        #: (``ctx.observe`` histograms); None disables live observation
+        self.metrics = metrics
         #: reruns of the same output path get attempt-scoped paths so a
         #: retried/resumed job never collides with its earlier output
         self._output_attempts: Dict[str, int] = {}
@@ -118,6 +138,7 @@ class MapReduceRuntime:
         output_path: Optional[str] = None,
         reduce_policy: Optional[ReducePolicy] = None,
         attempt: int = 0,
+        parent_span: Optional[Span] = None,
     ) -> JobResult:
         """Execute ``job`` over the given input splits.
 
@@ -126,27 +147,37 @@ class MapReduceRuntime:
         are skipped and counted under ``dfs.skipped_outputs``.  Re-runs
         against the same path write to an attempt-scoped path
         (``<path>/attempt-<k>``) instead of crashing on the immutable
-        DFS file.
+        DFS file; :meth:`InMemoryDFS.latest` resolves the newest one.
 
         ``attempt`` tags the whole job execution (phase names become
         ``<job>@<attempt>:map`` etc. for ``attempt > 0``): a
         supervisor-level whole-job retry draws a fresh fault schedule
         rather than deterministically replaying the one that killed it.
+        The attempt is carried on the returned
+        :class:`~repro.mapreduce.job.JobResult` so retried jobs stay
+        distinguishable downstream.
+
+        ``parent_span`` roots this job's span subtree in a caller's
+        trace (the pipeline drivers pass their stage spans).
         """
         if not input_blocks:
             raise MapReduceError("job needs at least one input split")
         started = time.perf_counter()
         counters = Counters()
         job_tag = job.name if attempt == 0 else f"{job.name}@{attempt}"
+        job_span = self.tracer.start_span(
+            "job", parent=parent_span, job=job.name, attempt=attempt,
+            tag=job_tag,
+        )
 
         map_outputs, map_metrics, recovery_metrics = self._map_phase(
-            job, job_tag, input_blocks, counters
+            job, job_tag, input_blocks, counters, job_span
         )
         grouped, shuffle_records, shuffle_bytes = self._shuffle(
-            job_tag, map_outputs, counters
+            job_tag, map_outputs, counters, job_span
         )
         outputs, lost = self._reduce_phase(
-            job, job_tag, grouped, counters, reduce_policy
+            job, job_tag, grouped, counters, reduce_policy, job_span
         )
 
         if output_path is not None:
@@ -166,8 +197,23 @@ class MapReduceRuntime:
                 else f"{output_path}/attempt-{rerun}"
             )
             self.dfs.write(actual_path, block_outputs)
+            job_span.set("output_path", actual_path)
 
         elapsed = time.perf_counter() - started
+        job_span.update(
+            shuffle_records=shuffle_records,
+            shuffle_bytes=shuffle_bytes,
+            faults_injected=(
+                map_metrics.failed_attempts
+                + counters.get("reduce", "failed_attempts")
+                + counters.get("shuffle", "corrupt_blocks")
+            ),
+            faults_recovered=(
+                counters.get("map", "reexecuted_tasks")
+                + counters.get("shuffle", "corrupt_blocks")
+            ),
+        )
+        job_span.finish()
         result = JobResult(
             job_name=job.name,
             outputs=outputs,
@@ -178,6 +224,7 @@ class MapReduceRuntime:
             shuffle_bytes=shuffle_bytes,
             elapsed_seconds=elapsed,
             recovery_metrics=recovery_metrics,
+            attempt=attempt,
         )
         if lost is not None:
             result.extras.update(lost)
@@ -190,22 +237,37 @@ class MapReduceRuntime:
         job_tag: str,
         input_blocks: Sequence[Block],
         counters: Counters,
+        job_span: Span,
     ) -> Tuple[
         List[Dict[int, List[Block]]],
         ClusterMetrics,
         Optional[ClusterMetrics],
     ]:
         phase = f"{job_tag}:map"
+        tracer = self.tracer
+        traced = tracer.enabled
+        phase_span = tracer.start_span("map", parent=job_span, phase=phase)
 
-        def make_task(block: Block):
+        def make_task(index: int, block: Block):
             def task() -> Tuple[
-                Tuple[Dict[int, List[Block]], Counters], int
+                Tuple[Dict[int, List[Block]], Counters, Optional[Span]], int
             ]:
                 # Per-attempt counters: merged into the job counters
                 # only if this attempt's output survives (Hadoop counts
                 # successful attempts once, even after re-execution).
+                task_span = (
+                    tracer.start_span(
+                        "map.task", parent=phase_span, phase=phase,
+                        task=index,
+                    )
+                    if traced
+                    else None
+                )
                 attempt_counters = Counters()
-                ctx = TaskContext(self.cache, attempt_counters)
+                ctx = TaskContext(
+                    self.cache, attempt_counters,
+                    metrics=self.metrics, span=task_span,
+                )
                 attempt_counters.inc("map", "input_records", block.size)
                 emitted: Dict[int, List[Block]] = defaultdict(list)
                 for key, out_block in job.mapper(block, ctx):
@@ -219,14 +281,26 @@ class MapReduceRuntime:
                     b.size for blocks in emitted.values() for b in blocks
                 )
                 attempt_counters.inc("map", "output_records", out_records)
+                self._count_dominance(attempt_counters, ctx)
+                if task_span is not None:
+                    task_span.update(
+                        records_in=block.size,
+                        records_out=out_records,
+                        dominance_point_tests=ctx.ops.point_tests,
+                        dominance_region_tests=ctx.ops.region_tests,
+                    )
+                    task_span.finish()
                 return (
-                    (dict(emitted), attempt_counters),
+                    (dict(emitted), attempt_counters, task_span),
                     ctx.cost_units(records=block.size),
                 )
 
             return task
 
-        tasks = [make_task(block) for block in input_blocks]
+        tasks = [
+            make_task(index, block)
+            for index, block in enumerate(input_blocks)
+        ]
         attempts = self.cluster.run_round(phase, tasks)
         map_metrics = self.cluster.metrics_for(phase)
         recovery_metrics = self._recover_lost_map_output(
@@ -234,7 +308,7 @@ class MapReduceRuntime:
         )
 
         map_outputs: List[Dict[int, List[Block]]] = []
-        for emitted, attempt_counters in attempts:
+        for emitted, attempt_counters, _task_span in attempts:
             counters.merge(attempt_counters)
             map_outputs.append(emitted)
 
@@ -245,7 +319,22 @@ class MapReduceRuntime:
         )
         if failed:
             counters.inc("map", "failed_attempts", failed)
+        phase_span.update(
+            tasks=len(tasks),
+            failed_attempts=failed,
+            reexecuted_tasks=counters.get("map", "reexecuted_tasks"),
+        )
+        phase_span.finish()
         return map_outputs, map_metrics, recovery_metrics
+
+    @staticmethod
+    def _count_dominance(counters: Counters, ctx: TaskContext) -> None:
+        """Fold the task's dominance-test counts into its counter set
+        (the quantity the paper's §5.4 pruning analysis reports)."""
+        if ctx.ops.point_tests:
+            counters.inc("dominance", "point_tests", ctx.ops.point_tests)
+        if ctx.ops.region_tests:
+            counters.inc("dominance", "region_tests", ctx.ops.region_tests)
 
     def _recover_lost_map_output(
         self,
@@ -294,6 +383,12 @@ class MapReduceRuntime:
             placement=recovery_placement,
         )
         for slot, attempt in zip(lost, recovered):
+            # The crashed worker's span describes work whose output was
+            # lost: mark it so trace aggregation, like the counters,
+            # credits only the surviving re-execution.
+            lost_span = attempts[slot][2]
+            if lost_span is not None:
+                lost_span.set(SUPERSEDED, True)
             attempts[slot] = attempt
         return self.cluster.metrics_for(f"{phase}:recovery")
 
@@ -302,9 +397,13 @@ class MapReduceRuntime:
         job_name: str,
         map_outputs: List[Dict[int, List[Block]]],
         counters: Counters,
+        job_span: Span,
     ) -> Tuple[Dict[int, List[Block]], int, int]:
         plan = self.fault_plan
         inject = plan is not None and plan.corruption_rate > 0.0
+        shuffle_span = self.tracer.start_span(
+            "shuffle", parent=job_span, phase=f"{job_name}:shuffle"
+        )
         grouped: Dict[int, List[Block]] = defaultdict(list)
         records = 0
         nbytes = 0
@@ -322,6 +421,14 @@ class MapReduceRuntime:
                     nbytes += block.nbytes
         counters.inc("shuffle", "records", records)
         counters.inc("shuffle", "bytes", nbytes)
+        shuffle_span.update(
+            records=records,
+            bytes=nbytes,
+            keys=len(grouped),
+            corrupt_blocks=counters.get("shuffle", "corrupt_blocks"),
+            refetched_bytes=counters.get("shuffle", "refetched_bytes"),
+        )
+        shuffle_span.finish()
         return grouped, records, nbytes
 
     def _fetch_verified(
@@ -358,11 +465,17 @@ class MapReduceRuntime:
         grouped: Dict[int, List[Block]],
         counters: Counters,
         policy: Optional[ReducePolicy] = None,
+        job_span: Optional[Span] = None,
     ) -> Tuple[Dict[int, object], Optional[Dict[str, object]]]:
         phase = f"{job_tag}:reduce"
         keys = sorted(grouped)
         lenient = policy is not None and policy.lenient
         deadline = policy.deadline if policy is not None else None
+        tracer = self.tracer
+        traced = tracer.enabled
+        phase_span = tracer.start_span(
+            "reduce", parent=job_span, phase=phase
+        )
 
         def make_task(key: int, index: int):
             def task() -> Tuple[object, int]:
@@ -374,13 +487,36 @@ class MapReduceRuntime:
                     if lenient:
                         return LostTask(index, error), 0
                     raise error
-                ctx = TaskContext(self.cache, counters)
+                task_span = (
+                    tracer.start_span(
+                        "reduce.task", parent=phase_span, phase=phase,
+                        task=index, key=key,
+                    )
+                    if traced
+                    else None
+                )
+                ctx = TaskContext(
+                    self.cache, counters,
+                    metrics=self.metrics, span=task_span,
+                )
                 blocks = grouped[key]
                 in_records = sum(b.size for b in blocks)
                 counters.inc("reduce", "input_records", in_records)
                 result = job.reducer(key, blocks, ctx)
+                out_records = (
+                    result.size if isinstance(result, Block) else 0
+                )
                 if isinstance(result, Block):
                     counters.inc("reduce", "output_records", result.size)
+                self._count_dominance(counters, ctx)
+                if task_span is not None:
+                    task_span.update(
+                        records_in=in_records,
+                        records_out=out_records,
+                        dominance_point_tests=ctx.ops.point_tests,
+                        dominance_region_tests=ctx.ops.region_tests,
+                    )
+                    task_span.finish()
                 return result, ctx.cost_units(records=in_records)
 
             return task
@@ -405,10 +541,16 @@ class MapReduceRuntime:
                     lost_floors[key] = floor
                 continue
             outputs[key] = result
-        if not lenient:
-            return outputs, None
         if lost_keys:
             counters.inc("reduce", "lost_tasks", len(lost_keys))
+        phase_span.update(
+            tasks=len(tasks),
+            failed_attempts=failed,
+            lost_tasks=len(lost_keys),
+        )
+        phase_span.finish()
+        if not lenient:
+            return outputs, None
         return outputs, {
             "lost_keys": lost_keys,
             "lost_reasons": lost_reasons,

@@ -1,0 +1,40 @@
+"""Unified observability: span tracing, metrics registry, JSONL export.
+
+The paper's evaluation is entirely observational (per-worker load
+balance, dominance-test counts, shuffled records, per-group candidate
+counts); this package is the single subsystem those quantities flow
+through.  ``Tracer`` records the span tree of a run, ``MetricsRegistry``
+unifies counters/timers/histograms, and both export JSONL that a
+benchmark row can be regenerated from (``--trace-out`` /
+``--metrics-out`` on the CLI).
+"""
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    load_metrics_jsonl,
+    registry_from_rows,
+)
+from repro.observability.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SUPERSEDED,
+    NullTracer,
+    Span,
+    Tracer,
+    aggregate_trace_rows,
+    load_trace_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "SUPERSEDED",
+    "Span",
+    "Tracer",
+    "aggregate_trace_rows",
+    "load_metrics_jsonl",
+    "load_trace_jsonl",
+    "registry_from_rows",
+]

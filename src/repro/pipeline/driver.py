@@ -23,6 +23,8 @@ from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobResult
 from repro.mapreduce.runtime import MapReduceRuntime
 from repro.mapreduce.types import Block, split_dataset
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.pipeline.phase1 import make_phase1_job
 from repro.pipeline.phase2 import make_phase2_job
 from repro.pipeline.plans import PlanConfig, parse_plan
@@ -53,10 +55,34 @@ class EngineConfig:
     #: "simulated" (sequential, deterministic, supports fault injection)
     #: or "threaded" (real thread-per-worker parallelism)
     executor: str = "simulated"
+    #: JSONL span-trace output path; setting it enables tracing
+    trace_out: Optional[str] = None
+    #: JSONL metrics output path (counters + timers + histograms)
+    metrics_out: Optional[str] = None
+    #: explicit tracer instance (enables tracing even without
+    #: ``trace_out``; useful for in-process inspection in tests)
+    tracer: Optional[Tracer] = None
 
     @classmethod
     def from_plan_string(cls, plan: str, **kwargs: object) -> "EngineConfig":
         return cls(plan=parse_plan(plan), **kwargs)  # type: ignore[arg-type]
+
+    def resolve_tracer(self) -> Tracer:
+        """The tracer a run should use: the explicit one, a fresh one
+        when ``trace_out`` asks for an export, else the shared no-op."""
+        if self.tracer is not None:
+            return self.tracer
+        if self.trace_out is not None:
+            return Tracer()
+        return NULL_TRACER
+
+    @property
+    def observability_enabled(self) -> bool:
+        return (
+            self.tracer is not None
+            or self.trace_out is not None
+            or self.metrics_out is not None
+        )
 
     def __post_init__(self) -> None:
         if self.num_groups <= 0 or self.num_workers <= 0:
@@ -102,6 +128,11 @@ class RunReport:
     details: Dict[str, object] = field(default_factory=dict)
     #: first merge round of the parallel Z-merge extension (ZMP only)
     phase2_partial: Optional[JobResult] = None
+    #: the run's span tracer (None when tracing was disabled)
+    trace: Optional[Tracer] = None
+    #: live histogram/counter observations collected during the run
+    #: (per-task wall seconds, per-group candidates); None when off
+    observed_metrics: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------
     # The quantities the paper's figures plot
@@ -214,15 +245,57 @@ class RunReport:
             jobs.append(self.phase2_partial)
         return jobs
 
+    def merged_counters(self) -> MetricsRegistry:
+        """Every executed job's counters folded into one registry —
+        the cross-job aggregation the fault summary and metrics export
+        read from."""
+        merged = MetricsRegistry()
+        for job in self._jobs():
+            merged.absorb_counters(job.counters)
+        return merged
+
     def fault_summary(self) -> Dict[str, int]:
         """Failure/recovery counters summed over every executed job
         (``"group.name" -> value``; all zero on a clean run)."""
+        merged = self.merged_counters()
         return {
-            f"{group}.{name}": sum(
-                job.counters.get(group, name) for job in self._jobs()
-            )
+            f"{group}.{name}": merged.counter(group, name)
             for group, name in FAULT_COUNTER_KEYS
         }
+
+    # ------------------------------------------------------------------
+    # unified metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsRegistry:
+        """The run's unified metrics: job counters, stage timers, and
+        load-balance histograms, merged with whatever was observed live
+        (per-task wall seconds, per-group candidate counts).
+
+        This is what ``--metrics-out`` exports; every quantity in
+        :meth:`summary` is derivable from it.
+        """
+        registry = self.merged_counters()
+        if self.observed_metrics is not None:
+            registry.merge(self.observed_metrics)
+        registry.record_time("preprocess.seconds", self.preprocess_seconds)
+        registry.record_time("phase1.seconds", self.phase1_seconds)
+        registry.record_time("merge.seconds", self.merge_seconds)
+        registry.record_time("total.seconds", self.total_seconds)
+        # Per-worker load balance (Figure 7's quantity) as histograms.
+        for ledger in self.phase1.reduce_metrics.active_ledgers():
+            registry.observe(
+                "phase1.worker_wall_seconds", ledger.wall_seconds
+            )
+            registry.observe("phase1.worker_cost_units", ledger.cost_units)
+        # Per-group candidate counts (Figure 9's quantity), recomputed
+        # from the outputs when no live observation captured them.
+        if self.observed_metrics is None or not self.observed_metrics.histogram(
+            "phase1.group_candidates"
+        ):
+            for value in self.phase1.outputs.values():
+                if isinstance(value, Block):
+                    registry.observe("phase1.group_candidates", value.size)
+        return registry
 
     @property
     def recovery_cost(self) -> int:
@@ -249,6 +322,10 @@ class RunReport:
             "makespan_cost": self.makespan_cost,
             "reducer_skew": round(self.reducer_skew, 3),
             "recovery_cost": self.recovery_cost,
+            # whole-job execution attempts: a supervisor-level stage
+            # retry shows up here, so a retried run is distinguishable
+            "phase1_attempt": self.phase1.attempt,
+            "phase2_attempt": self.phase2.attempt,
         }
         out.update(self.fault_summary())
         return out
@@ -269,6 +346,18 @@ def make_cluster(cfg: EngineConfig) -> SimulatedCluster:
     )
 
 
+def export_observability(
+    cfg: EngineConfig, report: RunReport
+) -> None:
+    """Write the JSONL trace/metrics files a config asked for."""
+    if cfg.trace_out is not None and report.trace is not None:
+        report.trace.export_jsonl(cfg.trace_out)
+        report.details["trace_out"] = cfg.trace_out
+    if cfg.metrics_out is not None:
+        report.metrics().export_jsonl(cfg.metrics_out)
+        report.details["metrics_out"] = cfg.metrics_out
+
+
 class SkylineEngine:
     """Run the three-phase pipeline for one plan configuration."""
 
@@ -284,27 +373,43 @@ class SkylineEngine:
         """
         cfg = self.config
         started = time.perf_counter()
+        tracer = cfg.resolve_tracer()
+        registry = (
+            MetricsRegistry() if cfg.observability_enabled else None
+        )
+        run_span = tracer.start_span(
+            "run", plan=cfg.plan.label, n=dataset.size,
+            d=dataset.dimensions,
+        )
 
         snapped, codec = quantize_dataset(
             dataset, bits_per_dim=cfg.bits_per_dim
         )
 
-        pre = preprocess(
-            snapped,
-            codec,
-            cfg.plan.partitioner,
-            cfg.num_groups,
-            sample_ratio=cfg.sample_ratio,
-            expansion=cfg.expansion,
-            seed=cfg.seed,
-        )
+        with tracer.span("preprocess", parent=run_span) as pre_span:
+            pre = preprocess(
+                snapped,
+                codec,
+                cfg.plan.partitioner,
+                cfg.num_groups,
+                sample_ratio=cfg.sample_ratio,
+                expansion=cfg.expansion,
+                seed=cfg.seed,
+            )
+            pre_span.update(
+                sample_size=pre.sample.size,
+                sample_skyline=int(pre.sample_skyline.shape[0]),
+                seconds=pre.seconds,
+            )
 
         cluster = make_cluster(cfg)
+        cluster.observer = registry
         cache = DistributedCache()
         pre.publish(cache)
         runtime = MapReduceRuntime(
             cluster, dfs=InMemoryDFS(), cache=cache,
             fault_plan=cfg.fault_plan,
+            tracer=tracer, metrics=registry,
         )
 
         splits = split_dataset(
@@ -312,7 +417,11 @@ class SkylineEngine:
         )
 
         job1 = make_phase1_job(cfg.plan)
-        result1 = runtime.run(job1, splits, output_path="phase1/candidates")
+        with tracer.span("phase1", parent=run_span) as stage_span:
+            result1 = runtime.run(
+                job1, splits, output_path="phase1/candidates",
+                parent_span=stage_span,
+            )
 
         candidate_blocks = [
             block
@@ -329,7 +438,13 @@ class SkylineEngine:
             from repro.pipeline.phase2 import make_partial_merge_job
 
             partial_job = make_partial_merge_job(cfg.num_workers)
-            partial_result = runtime.run(partial_job, candidate_blocks)
+            with tracer.span(
+                "partial-merge", parent=run_span
+            ) as stage_span:
+                partial_result = runtime.run(
+                    partial_job, candidate_blocks,
+                    parent_span=stage_span,
+                )
             candidate_blocks = [
                 block
                 for block in partial_result.outputs.values()
@@ -337,11 +452,17 @@ class SkylineEngine:
             ] or [Block.empty(snapped.dimensions)]
 
         job2 = make_phase2_job(cfg.plan)
-        result2 = runtime.run(job2, candidate_blocks, output_path="skyline")
+        with tracer.span("phase2", parent=run_span) as stage_span:
+            result2 = runtime.run(
+                job2, candidate_blocks, output_path="skyline",
+                parent_span=stage_span,
+            )
 
         skyline = result2.outputs.get(0, Block.empty(snapped.dimensions))
         total_seconds = time.perf_counter() - started
-        return RunReport(
+        run_span.set("skyline", skyline.size)
+        run_span.finish()
+        report = RunReport(
             plan=cfg.plan,
             skyline=skyline,
             preprocess_result=pre,
@@ -355,7 +476,11 @@ class SkylineEngine:
                 "num_workers": cfg.num_workers,
             },
             phase2_partial=partial_result,
+            trace=tracer if tracer.enabled else None,
+            observed_metrics=registry,
         )
+        export_observability(cfg, report)
+        return report
 
 
 def run_plan(

@@ -82,6 +82,10 @@ def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
             merged.points, merged.ids, ctx.ops
         )
         ctx.counters.inc("phase1", "candidates", sky_points.shape[0])
+        # Per-group candidate counts — the distribution Figure 9 plots
+        # (one histogram sample per reduce group).
+        ctx.observe("phase1.group_candidates", sky_points.shape[0])
+        ctx.observe("phase1.group_input_records", merged.size)
         return Block(sky_ids, sky_points)
 
     return MapReduceJob(

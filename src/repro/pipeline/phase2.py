@@ -90,6 +90,9 @@ def _zmerge_reducer(key: int, blocks: List[Block], ctx: TaskContext) -> Block:
         return Block.empty(blocks[0].dimensions if blocks else 1)
     merged = zmerge_all(trees, counter=ctx.ops)
     _, points, ids = merged.collect()
+    # How many candidate trees each merge reducer folds — the fan-in
+    # the two-level ZMP merge is designed to shrink.
+    ctx.observe("phase2.merge_fanin", len(trees))
     return Block(ids, points)
 
 

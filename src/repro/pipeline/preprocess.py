@@ -43,7 +43,15 @@ class PreprocessResult:
     details: Dict[str, object] = field(default_factory=dict)
 
     def publish(self, cache: DistributedCache) -> None:
-        """Ship the learned artefacts to the mappers."""
+        """Ship the learned artefacts to the mappers.
+
+        Idempotent against a live runtime: when preprocessing re-runs
+        in the same process (e.g. a supervised resume reusing its
+        runtime), re-publishing the identical payloads is a no-op; only
+        a *conflicting* payload — a different rule or sample skyline
+        under the same key — raises (see
+        :meth:`~repro.mapreduce.cache.DistributedCache.put`).
+        """
         cache.put(CACHE_RULE, self.rule)
         cache.put(CACHE_CODEC, self.codec)
         cache.put(CACHE_SAMPLE_SKYLINE, self.sample_skyline)

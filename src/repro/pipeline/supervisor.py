@@ -53,6 +53,7 @@ from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobResult
 from repro.mapreduce.runtime import MapReduceRuntime, ReducePolicy
 from repro.mapreduce.types import Block, split_dataset
+from repro.observability import MetricsRegistry, Tracer
 from repro.pipeline.checkpoint import (
     STAGE_FINAL,
     STAGE_PARTIAL_MERGE,
@@ -60,7 +61,12 @@ from repro.pipeline.checkpoint import (
     STAGE_PREPROCESS,
     CheckpointStore,
 )
-from repro.pipeline.driver import EngineConfig, RunReport, make_cluster
+from repro.pipeline.driver import (
+    EngineConfig,
+    RunReport,
+    export_observability,
+    make_cluster,
+)
 from repro.pipeline.phase1 import make_phase1_job
 from repro.pipeline.phase2 import make_partial_merge_job, make_phase2_job
 from repro.pipeline.preprocess import PreprocessResult, preprocess
@@ -147,6 +153,12 @@ class PipelineSupervisor:
     ) -> None:
         self.config = config
         self.supervisor = supervisor or SupervisorConfig()
+        # Built lazily by the first run(); later run() calls on the
+        # same supervisor (e.g. a resume after a deadline abort) reuse
+        # the live runtime — its cache and DFS survive, which is what
+        # makes idempotent cache re-publication and attempt-scoped
+        # output resolution observable behaviours.
+        self._runtime: Optional[MapReduceRuntime] = None
 
     # ------------------------------------------------------------------
     # entry point
@@ -182,6 +194,15 @@ class PipelineSupervisor:
             dataset, bits_per_dim=cfg.bits_per_dim
         )
 
+        tracer = cfg.resolve_tracer()
+        registry = (
+            MetricsRegistry() if cfg.observability_enabled else None
+        )
+        run_span = tracer.start_span(
+            "run", plan=cfg.plan.label, n=dataset.size,
+            d=dataset.dimensions, supervised=True, resume=sup.resume,
+        )
+
         store: Optional[CheckpointStore] = None
         resumed: List[str] = []
         if sup.checkpoint_dir:
@@ -192,43 +213,47 @@ class PipelineSupervisor:
         if store is not None and sup.resume and store.has_stage(
             STAGE_PREPROCESS
         ):
-            pre = self._load_preprocess(store)
+            with tracer.span(
+                "preprocess", parent=run_span, resumed=True
+            ):
+                pre = self._load_preprocess(store)
             resumed.append(STAGE_PREPROCESS)
         else:
             # In a degraded-ok run the deadline only gates phase-1
             # reduce scheduling (overdue keys are lost, not fatal);
             # master-side preprocessing is never aborted.
-            pre = self._run_stage(
-                STAGE_PREPROCESS,
-                None if sup.degraded_ok else deadline,
-                lambda attempt, stage_deadline: preprocess(
-                    snapped,
-                    codec,
-                    cfg.plan.partitioner,
-                    cfg.num_groups,
-                    sample_ratio=cfg.sample_ratio,
-                    expansion=cfg.expansion,
-                    seed=cfg.seed,
-                ),
-            )
+            with tracer.span("preprocess", parent=run_span) as pre_span:
+                pre = self._run_stage(
+                    STAGE_PREPROCESS,
+                    None if sup.degraded_ok else deadline,
+                    lambda attempt, stage_deadline: preprocess(
+                        snapped,
+                        codec,
+                        cfg.plan.partitioner,
+                        cfg.num_groups,
+                        sample_ratio=cfg.sample_ratio,
+                        expansion=cfg.expansion,
+                        seed=cfg.seed,
+                    ),
+                )
+                pre_span.update(
+                    sample_size=pre.sample.size,
+                    sample_skyline=int(pre.sample_skyline.shape[0]),
+                    seconds=pre.seconds,
+                )
             if store is not None:
                 self._save_preprocess(store, pre)
 
-        cluster = make_cluster(cfg)
-        cache = DistributedCache()
-        pre.publish(cache)
-        runtime = MapReduceRuntime(
-            cluster, dfs=InMemoryDFS(), cache=cache,
-            fault_plan=cfg.fault_plan,
-        )
+        runtime = self._acquire_runtime(cfg, pre, tracer, registry)
 
         # ---------------- stage: phase 1 ----------------
         if store is not None and sup.resume and store.has_stage(
             STAGE_PHASE1
         ):
-            result1 = self._restore_job_result(
-                store, STAGE_PHASE1, "phase1-candidates"
-            )
+            with tracer.span("phase1", parent=run_span, resumed=True):
+                result1 = self._restore_job_result(
+                    store, STAGE_PHASE1, "phase1-candidates"
+                )
             resumed.append(STAGE_PHASE1)
         else:
             job1 = make_phase1_job(cfg.plan)
@@ -236,25 +261,31 @@ class PipelineSupervisor:
                 snapped, cfg.num_input_splits or cfg.num_workers * 2
             )
 
-            def run_phase1(attempt: int, stage_deadline: Optional[float]):
-                policy = ReducePolicy(
-                    lenient=sup.degraded_ok, deadline=stage_deadline
-                )
-                return runtime.run(
-                    job1,
-                    splits,
-                    output_path="phase1/candidates",
-                    reduce_policy=policy,
-                    attempt=attempt,
-                )
+            with tracer.span("phase1", parent=run_span) as stage_span:
 
-            # In lenient mode the reduce phase enforces the deadline
-            # itself (overdue keys become lost keys, not errors), so the
-            # stage runner never raises for it.
-            result1 = self._run_stage(
-                STAGE_PHASE1, deadline, run_phase1,
-                strict=not sup.degraded_ok,
-            )
+                def run_phase1(
+                    attempt: int, stage_deadline: Optional[float]
+                ):
+                    policy = ReducePolicy(
+                        lenient=sup.degraded_ok, deadline=stage_deadline
+                    )
+                    return runtime.run(
+                        job1,
+                        splits,
+                        output_path="phase1/candidates",
+                        reduce_policy=policy,
+                        attempt=attempt,
+                        parent_span=stage_span,
+                    )
+
+                # In lenient mode the reduce phase enforces the
+                # deadline itself (overdue keys become lost keys, not
+                # errors), so the stage runner never raises for it.
+                result1 = self._run_stage(
+                    STAGE_PHASE1, deadline, run_phase1,
+                    strict=not sup.degraded_ok,
+                )
+                stage_span.set("attempt", result1.attempt)
             if store is not None:
                 self._save_job_result(store, STAGE_PHASE1, result1)
 
@@ -267,19 +298,27 @@ class PipelineSupervisor:
             if store is not None and sup.resume and store.has_stage(
                 STAGE_PARTIAL_MERGE
             ):
-                partial_result = self._restore_job_result(
-                    store, STAGE_PARTIAL_MERGE, "phase2-merge-partial"
-                )
+                with tracer.span(
+                    "partial-merge", parent=run_span, resumed=True
+                ):
+                    partial_result = self._restore_job_result(
+                        store, STAGE_PARTIAL_MERGE, "phase2-merge-partial"
+                    )
                 resumed.append(STAGE_PARTIAL_MERGE)
             else:
                 partial_job = make_partial_merge_job(cfg.num_workers)
-                partial_result = self._run_stage(
-                    STAGE_PARTIAL_MERGE,
-                    None if sup.degraded_ok else deadline,
-                    lambda attempt, stage_deadline: runtime.run(
-                        partial_job, candidate_blocks, attempt=attempt
-                    ),
-                )
+                with tracer.span(
+                    "partial-merge", parent=run_span
+                ) as stage_span:
+                    partial_result = self._run_stage(
+                        STAGE_PARTIAL_MERGE,
+                        None if sup.degraded_ok else deadline,
+                        lambda attempt, stage_deadline: runtime.run(
+                            partial_job, candidate_blocks,
+                            attempt=attempt, parent_span=stage_span,
+                        ),
+                    )
+                    stage_span.set("attempt", partial_result.attempt)
                 if store is not None:
                     self._save_job_result(
                         store, STAGE_PARTIAL_MERGE, partial_result
@@ -296,9 +335,10 @@ class PipelineSupervisor:
         merge_deadline = None if sup.degraded_ok else deadline
         degrade_meta: Dict[str, Any] = {}
         if store is not None and sup.resume and store.has_stage(STAGE_FINAL):
-            result2 = self._restore_job_result(
-                store, STAGE_FINAL, "phase2-merge"
-            )
+            with tracer.span("phase2", parent=run_span, resumed=True):
+                result2 = self._restore_job_result(
+                    store, STAGE_FINAL, "phase2-merge"
+                )
             resumed.append(STAGE_FINAL)
             payload = store.stage_payload(STAGE_FINAL)
             degrade_meta = payload.get("degradation", {})
@@ -308,14 +348,16 @@ class PipelineSupervisor:
             masked = int(degrade_meta.get("masked_candidates", 0))
         else:
             job2 = make_phase2_job(cfg.plan)
-            result2 = self._run_stage(
-                STAGE_FINAL,
-                merge_deadline,
-                lambda attempt, stage_deadline: runtime.run(
-                    job2, candidate_blocks, output_path="skyline",
-                    attempt=attempt,
-                ),
-            )
+            with tracer.span("phase2", parent=run_span) as stage_span:
+                result2 = self._run_stage(
+                    STAGE_FINAL,
+                    merge_deadline,
+                    lambda attempt, stage_deadline: runtime.run(
+                        job2, candidate_blocks, output_path="skyline",
+                        attempt=attempt, parent_span=stage_span,
+                    ),
+                )
+                stage_span.set("attempt", result2.attempt)
             skyline = result2.outputs.get(
                 0, Block.empty(snapped.dimensions)
             )
@@ -344,6 +386,9 @@ class PipelineSupervisor:
             "resumed_stages": resumed,
             "input": dict(quarantine),
         }
+        run_span.set("skyline", skyline.size)
+        run_span.set("resumed_stages", len(resumed))
+        run_span.finish()
         base = dict(
             plan=cfg.plan,
             skyline=skyline,
@@ -353,16 +398,55 @@ class PipelineSupervisor:
             total_seconds=total_seconds,
             details=details,
             phase2_partial=partial_result,
+            trace=tracer if tracer.enabled else None,
+            observed_metrics=registry,
         )
         if degrade_meta:
-            return PartialRunReport(
+            report: RunReport = PartialRunReport(
                 completeness=float(degrade_meta["completeness"]),
                 lost_groups=list(degrade_meta["groups_lost"]),
                 masked_candidates=int(degrade_meta["masked_candidates"]),
                 completeness_detail=dict(degrade_meta),
                 **base,
             )
-        return RunReport(**base)
+        else:
+            report = RunReport(**base)
+        export_observability(cfg, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # runtime lifecycle
+    # ------------------------------------------------------------------
+    def _acquire_runtime(
+        self,
+        cfg: EngineConfig,
+        pre: PreprocessResult,
+        tracer: Tracer,
+        registry: Optional[MetricsRegistry],
+    ) -> MapReduceRuntime:
+        """Build the runtime once and reuse it across run() calls.
+
+        A resumed run() on the same supervisor keeps the live cache and
+        DFS: re-publishing the (identical) preprocessing artefacts is an
+        idempotent no-op, and re-executed jobs write attempt-scoped
+        output paths that readers resolve with
+        :meth:`~repro.mapreduce.hdfs.InMemoryDFS.latest`.
+        """
+        runtime = self._runtime
+        if runtime is None:
+            runtime = MapReduceRuntime(
+                make_cluster(cfg),
+                dfs=InMemoryDFS(),
+                cache=DistributedCache(),
+                fault_plan=cfg.fault_plan,
+            )
+            self._runtime = runtime
+        # Observability handles are per-run, not per-runtime.
+        runtime.tracer = tracer
+        runtime.metrics = registry
+        runtime.cluster.observer = registry
+        pre.publish(runtime.cache)
+        return runtime
 
     # ------------------------------------------------------------------
     # stage driver
@@ -501,6 +585,7 @@ class PipelineSupervisor:
             "shuffle_records": result.shuffle_records,
             "shuffle_bytes": result.shuffle_bytes,
             "elapsed_seconds": result.elapsed_seconds,
+            "attempt": result.attempt,
             "lost": lost,
         }
         payload.update(extra_payload or {})
@@ -510,10 +595,7 @@ class PipelineSupervisor:
         self, store: CheckpointStore, stage: str, job_name: str
     ) -> JobResult:
         payload = store.stage_payload(stage)
-        counters = Counters()
-        for group, names in payload.get("counters", {}).items():
-            for name, value in names.items():
-                counters.inc(group, name, value)
+        counters = Counters.from_dict(payload.get("counters", {}))
         outputs: Dict[int, Any] = {
             key: block for key, block in store.load_blocks(stage)
         }
@@ -527,6 +609,7 @@ class PipelineSupervisor:
             shuffle_records=int(payload.get("shuffle_records", 0)),
             shuffle_bytes=int(payload.get("shuffle_bytes", 0)),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            attempt=int(payload.get("attempt", 0)),
         )
         lost = payload.get("lost", {})
         if lost.get("keys"):

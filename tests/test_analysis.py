@@ -1,7 +1,6 @@
 """Unit tests for the analysis package."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     dominance_depth_profile,

@@ -5,7 +5,6 @@ overridden (minimal) parameters and produce a well-formed table.  The
 shape assertions live in benchmarks/; here we only check plumbing.
 """
 
-import pytest
 
 from repro.bench import ablations, experiments
 from repro.bench.harness import BenchScale

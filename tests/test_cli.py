@@ -1,6 +1,5 @@
 """Unit tests for the command-line interface."""
 
-import os
 
 import pytest
 
@@ -37,6 +36,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "skyline" in out
         assert "total_s" in out
+
+    def test_run_exports_trace_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            ["run", "-n", "400", "-d", "3", "--groups", "4",
+             "--workers", "2",
+             "--trace-out", str(trace), "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace}" in out
+        assert f"wrote {metrics}" in out
+        from repro.observability import load_trace_jsonl
+
+        names = {row["name"] for row in load_trace_jsonl(str(trace))}
+        assert {"run", "preprocess", "phase1", "phase2"} <= names
+
+    def test_supervised_run_exports_trace(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "-n", "400", "-d", "3", "--groups", "4",
+             "--workers", "2",
+             "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--trace-out", str(trace)]
+        )
+        assert code == 0
+        assert trace.exists()
 
     def test_run_gpmrs_plan(self, capsys):
         code = main(

@@ -1,7 +1,6 @@
 """Unit tests for dominance primitives."""
 
 import numpy as np
-import pytest
 
 from repro.core.point import (
     DominanceRelation,

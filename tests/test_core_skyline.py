@@ -7,7 +7,6 @@ from repro.core.point import dominates
 from repro.core.skyline import (
     is_skyline_of,
     skyline_indices_oracle,
-    skyline_oracle,
 )
 
 

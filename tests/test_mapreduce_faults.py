@@ -18,7 +18,6 @@ from repro.core.exceptions import (
 )
 from repro.data.synthetic import anticorrelated
 from repro.mapreduce.cluster import SimulatedCluster
-from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import MapReduceJob

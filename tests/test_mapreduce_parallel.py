@@ -1,6 +1,5 @@
 """Unit and integration tests for the threaded cluster executor."""
 
-import numpy as np
 import pytest
 
 from repro import run_plan

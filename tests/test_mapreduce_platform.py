@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.exceptions import MapReduceError
 from repro.mapreduce.cache import DistributedCache
-from repro.mapreduce.cluster import ClusterMetrics, SimulatedCluster, WorkerLedger
+from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.types import Block
@@ -51,6 +51,25 @@ class TestCache:
         cache.put("k", 1)
         with pytest.raises(MapReduceError):
             cache.put("k", 2)
+
+    def test_identical_republication_is_idempotent(self):
+        # A supervised resume re-publishes the preprocessing artefacts
+        # into a still-live cache; identical payloads must be a no-op.
+        cache = DistributedCache()
+        payload = np.arange(12.0).reshape(4, 3)
+        cache.put("skyline", payload)
+        cache.put("skyline", payload)  # same object
+        cache.put("skyline", payload.copy())  # equal ndarray
+        assert np.array_equal(cache.get("skyline"), payload)
+        cache.put("scalar", 7)
+        cache.put("scalar", 7)
+        assert cache.get("scalar") == 7
+
+    def test_conflicting_republication_still_raises(self):
+        cache = DistributedCache()
+        cache.put("skyline", np.zeros((2, 2)))
+        with pytest.raises(MapReduceError, match="conflicting"):
+            cache.put("skyline", np.ones((2, 2)))
 
     def test_missing_key(self):
         with pytest.raises(MapReduceError):
@@ -103,6 +122,34 @@ class TestDFS:
         assert dfs.listdir() == ["b"]
         with pytest.raises(MapReduceError):
             dfs.delete("a")
+
+    def test_latest_resolves_attempt_scoped_output(self):
+        # Reruns write to <path>/attempt-<k>; a resumed reader must see
+        # the newest attempt, not the stale base file.
+        dfs = InMemoryDFS()
+        dfs.write("skyline", [self.make_block(n=1)])
+        dfs.write("skyline/attempt-1", [self.make_block(n=2)])
+        dfs.write("skyline/attempt-2", [self.make_block(n=3)])
+        assert dfs.latest_path("skyline") == "skyline/attempt-2"
+        blocks = dfs.latest("skyline")
+        assert blocks[0].size == 3
+
+    def test_latest_falls_back_to_base_path(self):
+        dfs = InMemoryDFS()
+        dfs.write("skyline", [self.make_block(n=4)])
+        assert dfs.latest_path("skyline") == "skyline"
+        assert dfs.latest("skyline")[0].size == 4
+
+    def test_latest_with_only_attempts(self):
+        # The base path may never exist (first execution already ran
+        # under a reused runtime whose counter was advanced).
+        dfs = InMemoryDFS()
+        dfs.write("out/attempt-1", [self.make_block(n=2)])
+        assert dfs.latest_path("out") == "out/attempt-1"
+
+    def test_latest_missing_raises(self):
+        with pytest.raises(MapReduceError):
+            InMemoryDFS().latest("nope")
 
 
 class TestCluster:

@@ -166,3 +166,19 @@ class TestRuntime:
         retried = runtime.run(job, make_blocks(), attempt=2)
         assert retried.map_metrics.phase == "tagged@2:map"
         assert retried.outputs == {0: 20, 1: 20}
+
+    def test_attempt_carried_on_job_result(self):
+        """Regression: ``run(..., attempt=k)`` used to tag the phase
+        names but build the JobResult from ``job.name`` alone, so the
+        retry attempt was invisible downstream."""
+        runtime = MapReduceRuntime(SimulatedCluster(2))
+        job = MapReduceJob("tagged", partition_by_parity, count_reducer)
+        first = runtime.run(job, make_blocks())
+        retried = runtime.run(job, make_blocks(), attempt=2)
+        assert first.attempt == 0
+        assert first.tagged_name == "tagged"
+        assert retried.attempt == 2
+        assert retried.tagged_name == "tagged@2"
+        assert retried.fault_summary()["job.attempt"] == 2
+        # counters are per-execution, not bled across attempts
+        assert retried.counters.get("map", "input_records") == 40

@@ -5,7 +5,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.dataset import Dataset
 from repro.core.exceptions import ConfigurationError
 from repro.partitioning.grouping import (
     HeuristicGroupingPartitioner,

@@ -14,7 +14,7 @@ from repro.partitioning.base import (
 )
 from repro.partitioning.grid import GridPartitioner, splits_for
 from repro.partitioning.random_part import RandomPartitioner
-from repro.zorder.encoding import ZGridCodec, quantize_dataset
+from repro.zorder.encoding import quantize_dataset
 
 
 def snapped_uniform(n=2000, d=4, seed=0, bits=8):

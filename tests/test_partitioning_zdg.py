@@ -5,7 +5,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.dataset import Dataset
 from repro.core.exceptions import ConfigurationError
 from repro.core.skyline import skyline_indices_oracle
 from repro.data.synthetic import anticorrelated, independent
@@ -16,7 +15,7 @@ from repro.partitioning.dominance_grouping import (
     log_dominance_volume,
     prune_dominated_partitions,
 )
-from repro.zorder.encoding import ZGridCodec, quantize_dataset
+from repro.zorder.encoding import quantize_dataset
 from repro.zorder.rzregion import RZRegion, dominance_volume
 
 

@@ -1,6 +1,5 @@
 """Integration tests for the MR-GPMRS baseline pipeline."""
 
-import numpy as np
 import pytest
 
 from repro import EngineConfig, run_gpmrs

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.skyline import is_skyline_of, skyline_indices_oracle
-from repro.data.synthetic import anticorrelated, independent
+from repro.data.synthetic import independent
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.runtime import MapReduceRuntime

@@ -211,6 +211,66 @@ class TestStagePolicies:
         )
         assert list(rep.skyline.ids) == list(base.skyline.ids)
 
+    def test_stage_retry_attempt_surfaces_in_report(self):
+        """Regression: the whole-job retry attempt used to be dropped
+        when the JobResult was built, so a retried stage was
+        indistinguishable from a clean one downstream."""
+        ds = tiny()
+        rep = supervised_run(
+            "ZDG+ZS", ds, num_groups=5, num_workers=3,
+            fault_plan=interrupting_plan("final"),
+            supervisor=SupervisorConfig(max_stage_retries=1),
+        )
+        assert rep.phase2.attempt == 1
+        assert rep.phase2.tagged_name == "phase2-merge@1"
+        assert rep.phase1.attempt == 0
+        summary = rep.summary()
+        assert summary["phase2_attempt"] == 1
+        assert summary["phase1_attempt"] == 0
+
+    def test_attempt_round_trips_through_checkpoint(self, tmp_path):
+        ds = tiny()
+        first = supervised_run(
+            "ZDG+ZS", ds, num_groups=5, num_workers=3,
+            fault_plan=interrupting_plan("final"),
+            supervisor=SupervisorConfig(
+                checkpoint_dir=str(tmp_path), max_stage_retries=1
+            ),
+        )
+        assert first.phase2.attempt == 1
+        resumed = supervised_run(
+            "ZDG+ZS", ds, num_groups=5, num_workers=3,
+            supervisor=SupervisorConfig(
+                checkpoint_dir=str(tmp_path), resume=True
+            ),
+        )
+        assert resumed.phase2.attempt == 1
+        assert resumed.summary()["phase2_attempt"] == 1
+
+    def test_rerun_on_same_supervisor_reuses_live_runtime(self):
+        """A second run() on the same supervisor keeps the live
+        runtime: cache re-publication is idempotent, rerun outputs land
+        in attempt-scoped DFS paths, and ``latest`` resolves them."""
+        from repro.pipeline.driver import EngineConfig
+        from repro.pipeline.supervisor import PipelineSupervisor
+
+        ds = tiny()
+        sup = PipelineSupervisor(
+            EngineConfig.from_plan_string(
+                "ZDG+ZS+ZM", num_groups=5, num_workers=3
+            ),
+            SupervisorConfig(),
+        )
+        first = sup.run(ds)
+        runtime = sup._runtime
+        second = sup.run(ds)
+        assert sup._runtime is runtime
+        assert list(first.skyline.ids) == list(second.skyline.ids)
+        # the resumed reader sees the newest attempt's output
+        assert runtime.dfs.latest_path("skyline") == "skyline/attempt-1"
+        latest = runtime.dfs.latest("skyline")
+        assert sorted(latest[0].ids) == sorted(second.skyline.ids)
+
     def test_retry_budget_exhaustion_raises_terminally(self):
         # kill both the base attempt and the @1 retry
         fp = FaultPlan(

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import run_plan
-from repro.core.dataset import Dataset
 from repro.core.skyline import is_skyline_of
 from repro.partitioning import get_partitioner
 from repro.partitioning.base import DROPPED, available_partitioners

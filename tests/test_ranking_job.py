@@ -1,7 +1,6 @@
 """Tests for the distributed dominance-score ranking job."""
 
 import numpy as np
-import pytest
 
 from repro import run_plan
 from repro.data.synthetic import independent

@@ -6,7 +6,7 @@ import pytest
 from repro.algorithms.bbs import bbs_over_tree, bbs_skyline
 from repro.core.exceptions import ReproError
 from repro.core.skyline import is_skyline_of
-from repro.rtree import MBR, RTree, bulk_load_str
+from repro.rtree import MBR, bulk_load_str
 from repro.zorder.zbtree import OpCounter
 
 

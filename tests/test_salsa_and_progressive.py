@@ -1,7 +1,6 @@
 """Unit tests for SaLSa and progressive BBS."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.bbs import bbs_progressive
 from repro.algorithms.salsa import salsa_skyline

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.dataset import Dataset
-from repro.core.skyline import is_skyline_of, skyline_oracle
+from repro.core.skyline import is_skyline_of
 from repro.zorder.encoding import ZGridCodec
 from repro.zorder.zbtree import OpCounter, build_zbtree
 from repro.zorder.zsearch import SkylineBuffer, zsearch, zsearch_dataset
