@@ -27,14 +27,20 @@ def bnl_skyline(
     point-dominance-test counts for the cost model.
     """
     points = np.asarray(points, dtype=np.float64)
-    n, d = points.shape if points.ndim == 2 else (0, 0)
+    if points.ndim == 1:
+        # Normalise 1-D input: no elements means a zero-dimensional
+        # empty block; otherwise it's a single point.
+        points = points.reshape(0, 0) if points.size == 0 else points[None, :]
+    n, d = points.shape
     if ids is None:
         ids = np.arange(n, dtype=np.int64)
     else:
         ids = np.asarray(ids, dtype=np.int64)
     counter = counter if counter is not None else OpCounter()
     if n == 0:
-        return points.reshape(0, d or 1), ids
+        # Keep the true dimensionality: an empty (0, d) input yields an
+        # empty (0, d) skyline, never (0, 1).
+        return points.reshape(0, d), ids[:0]
 
     window = np.empty((16, points.shape[1]))
     window_ids = np.empty(16, dtype=np.int64)

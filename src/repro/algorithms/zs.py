@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -16,12 +16,15 @@ def zs_skyline(
     ids: Optional[np.ndarray] = None,
     counter: Optional[OpCounter] = None,
     codec: Optional[ZGridCodec] = None,
+    zaddresses: Optional[Union[Sequence[int], np.ndarray]] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Skyline via ZB-tree + Z-search.
 
     ``points`` must hold integer grid coordinates (the pipeline quantises
     datasets once up front).  A wide-enough identity codec is derived when
-    none is supplied.
+    none is supplied.  ``zaddresses`` (ints or a native kernel batch)
+    skips the encode inside the tree build; only meaningful together
+    with the ``codec`` that produced them.
     """
     points = np.asarray(points, dtype=np.float64)
     n = points.shape[0]
@@ -36,5 +39,5 @@ def zs_skyline(
         top = int(points.max())
         bits = max(1, top.bit_length())
         codec = ZGridCodec.grid_identity(d, bits_per_dim=bits)
-    tree = build_zbtree(codec, points, ids=ids)
+    tree = build_zbtree(codec, points, ids=ids, zaddresses=zaddresses)
     return zsearch(tree, counter=counter)

@@ -131,15 +131,20 @@ def dominated_mask(
     return out
 
 
-def dominance_counts(points: np.ndarray) -> np.ndarray:
+def dominance_counts(points: np.ndarray, chunk: int = 2048) -> np.ndarray:
     """Return, for each point, the number of points that dominate it.
 
-    Quadratic, intended for analysis and small inputs (the dominance
-    histogram of Example 2 in the paper).  Entry ``i`` is the count of
-    indices ``j`` with ``points[j]`` dominating ``points[i]``.
+    Quadratic work, vectorised with chunked broadcasting like
+    :func:`dominated_mask` (memory ``chunk * n`` booleans per pass).
+    Entry ``i`` is the count of indices ``j`` with ``points[j]``
+    dominating ``points[i]``.
     """
+    points = np.asarray(points, dtype=np.float64)
     n = points.shape[0]
     counts = np.zeros(n, dtype=np.int64)
-    for i in range(n):
-        counts[i] = int(np.count_nonzero(block_dominates(points, points[i])))
+    for start in range(0, n, chunk):
+        part = points[start : start + chunk]
+        le = np.all(points[None, :, :] <= part[:, None, :], axis=2)
+        lt = np.any(points[None, :, :] < part[:, None, :], axis=2)
+        counts[start : start + chunk] = (le & lt).sum(axis=1)
     return counts

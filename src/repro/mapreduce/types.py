@@ -10,7 +10,7 @@ the algorithmic costs the benchmarks measure).
 from __future__ import annotations
 
 import zlib
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -22,11 +22,26 @@ _BYTES_PER_ID = 8
 
 
 class Block:
-    """An immutable batch of identified points."""
+    """An immutable batch of identified points.
 
-    __slots__ = ("ids", "points")
+    ``zaddresses`` optionally carries the points' already-computed
+    Z-addresses as a native kernel batch — a ``(n,)`` uint64 array
+    (fast path) or a ``(n, W)`` packed-byte matrix (wide path).  Both
+    forms index on axis 0, so blocks never need to know which path
+    produced them.  The field rides along through shuffles and
+    checkpoints so phase 2 never re-encodes candidates; it is dropped
+    silently when unavailable (``None``) and excluded from checksums
+    (it is derived data, recomputable from the points).
+    """
 
-    def __init__(self, ids: np.ndarray, points: np.ndarray) -> None:
+    __slots__ = ("ids", "points", "zaddresses")
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        points: np.ndarray,
+        zaddresses: Optional[np.ndarray] = None,
+    ) -> None:
         ids = np.asarray(ids, dtype=np.int64)
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2:
@@ -35,8 +50,14 @@ class Block:
             raise MapReduceError(
                 f"ids shape {ids.shape} does not match {points.shape[0]} points"
             )
+        if zaddresses is not None and zaddresses.shape[0] != points.shape[0]:
+            raise MapReduceError(
+                f"zaddresses length {zaddresses.shape[0]} does not match "
+                f"{points.shape[0]} points"
+            )
         self.ids = ids
         self.points = points
+        self.zaddresses = zaddresses
 
     @property
     def size(self) -> int:
@@ -64,7 +85,12 @@ class Block:
 
     def select(self, mask_or_indices: np.ndarray) -> "Block":
         """Sub-block by boolean mask or integer positions."""
-        return Block(self.ids[mask_or_indices], self.points[mask_or_indices])
+        z = self.zaddresses
+        return Block(
+            self.ids[mask_or_indices],
+            self.points[mask_or_indices],
+            zaddresses=None if z is None else z[mask_or_indices],
+        )
 
     def __repr__(self) -> str:
         return f"Block(n={self.size}, d={self.dimensions})"
@@ -77,14 +103,24 @@ class Block:
 
     @staticmethod
     def concat(blocks: Sequence["Block"]) -> "Block":
-        """Concatenate blocks (at least one required)."""
+        """Concatenate blocks (at least one required).
+
+        Z-addresses are propagated only when every input carries them
+        (a single missing batch would silently misalign the rest).
+        """
         if not blocks:
             raise MapReduceError("cannot concatenate zero blocks")
         if len(blocks) == 1:
             return blocks[0]
+        zaddresses = None
+        if all(b.zaddresses is not None for b in blocks):
+            zaddresses = np.concatenate(
+                [b.zaddresses for b in blocks], axis=0
+            )
         return Block(
             np.concatenate([b.ids for b in blocks]),
             np.vstack([b.points for b in blocks]),
+            zaddresses=zaddresses,
         )
 
     @staticmethod

@@ -12,7 +12,7 @@ reason about.
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,6 +61,13 @@ class ZCurveRule(PartitionRule):
         ):
             raise PartitioningError("pivots must be strictly increasing")
         self._num_partitions = len(self.pivots) + 1
+        # Pivots in the kernel's native form so mapper-side routing can
+        # binary-search whole z-batches without touching Python ints.
+        kernel = codec.kernel
+        if kernel.fast_path:
+            self._pivots_native = np.asarray(self.pivots, dtype=np.uint64)
+        else:
+            self._pivots_native = kernel.from_ints(self.pivots)
         if group_map is None:
             self._group_map = np.arange(self._num_partitions, dtype=np.int64)
             self._num_groups = self._num_partitions
@@ -88,9 +95,22 @@ class ZCurveRule(PartitionRule):
     def group_map(self) -> np.ndarray:
         return self._group_map
 
-    def partition_of(self, zaddresses: Sequence[int]) -> np.ndarray:
+    def partition_of(self, zaddresses: Union[Sequence[int], np.ndarray]) -> np.ndarray:
         """Partition id per Z-address (binary search over the pivots —
-        Algorithm 3's ``searchPT``)."""
+        Algorithm 3's ``searchPT``).
+
+        Accepts Python ints or a native kernel batch; native batches are
+        resolved with one vectorised ``searchsorted`` (fast path) or a
+        per-pivot lexicographic sweep (wide path) — never a per-address
+        Python ``bisect``.
+        """
+        kernel = self.codec.kernel
+        if kernel.is_native(zaddresses):
+            if kernel.fast_path:
+                return np.searchsorted(
+                    self._pivots_native, zaddresses, side="right"
+                ).astype(np.int64)
+            return self._partition_of_wide(zaddresses)
         pivots = self.pivots
         return np.fromiter(
             (bisect.bisect_right(pivots, z) for z in zaddresses),
@@ -98,14 +118,28 @@ class ZCurveRule(PartitionRule):
             count=len(zaddresses),
         )
 
+    def _partition_of_wide(self, zbatch: np.ndarray) -> np.ndarray:
+        """``bisect_right`` of packed-byte addresses: count, per row, the
+        pivots that are <= the row (rows compare lexicographically)."""
+        n = zbatch.shape[0]
+        counts = np.zeros(n, dtype=np.int64)
+        rows = np.arange(n)
+        for pivot_row in self._pivots_native:
+            diff = zbatch != pivot_row[None, :]
+            has_diff = diff.any(axis=1)
+            first = np.argmax(diff, axis=1)
+            row_byte = zbatch[rows, first]
+            counts += ~has_diff | (row_byte > pivot_row[first])
+        return counts
+
     def assign_groups(
         self,
         points: np.ndarray,
         ids: np.ndarray,
-        zaddresses: Optional[Sequence[int]] = None,
+        zaddresses: Optional[Union[Sequence[int], np.ndarray]] = None,
     ) -> np.ndarray:
         if zaddresses is None:
-            zaddresses = self.codec.encode_grid(
+            zaddresses = self.codec.encode_grid_batch(
                 np.asarray(points, dtype=np.float64).astype(np.int64)
             )
         pids = self.partition_of(zaddresses)
@@ -156,6 +190,7 @@ class ZCurvePartitioner(Partitioner):
     ) -> ZCurveRule:
         if num_groups <= 0:
             raise ConfigurationError("num_groups must be positive")
-        zlist = codec.encode_grid(sample.points.astype(np.int64))
-        pivots = equidepth_pivots(sorted(zlist), num_groups)
+        zbatch = codec.encode_grid_batch(sample.points.astype(np.int64))
+        sorted_z = codec.kernel.to_int_list(zbatch[codec.kernel.argsort(zbatch)])
+        pivots = equidepth_pivots(sorted_z, num_groups)
         return ZCurveRule(codec, pivots)

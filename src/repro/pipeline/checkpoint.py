@@ -177,7 +177,13 @@ class CheckpointStore:
             name = f"{stage}-{index:04d}.npz"
             path = os.path.join(self.root, _BLOCKS_DIR, name)
             tmp = f"{path}.tmp.npz"
-            np.savez(tmp, ids=block.ids, points=block.points)
+            arrays = {"ids": block.ids, "points": block.points}
+            if block.zaddresses is not None:
+                # Carried Z-addresses persist too, so a resumed run's
+                # phase 2 never re-encodes candidates.  Older payloads
+                # without the array load fine (the field is derived).
+                arrays["zaddresses"] = block.zaddresses
+            np.savez(tmp, **arrays)
             os.replace(tmp, path)
             entries.append(
                 {
@@ -217,7 +223,12 @@ class CheckpointStore:
                     f"checkpoint block {entry['file']!r} is missing"
                 )
             with np.load(path) as payload:
-                block = Block(payload["ids"], payload["points"])
+                zaddresses = (
+                    payload["zaddresses"] if "zaddresses" in payload else None
+                )
+                block = Block(
+                    payload["ids"], payload["points"], zaddresses=zaddresses
+                )
             if block.checksum() != entry["crc32"]:
                 raise ConfigurationError(
                     f"checkpoint block {entry['file']!r} failed its CRC "

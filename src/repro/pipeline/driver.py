@@ -459,6 +459,11 @@ class SkylineEngine:
             )
 
         skyline = result2.outputs.get(0, Block.empty(snapped.dimensions))
+        if registry is not None:
+            # Which kernel path (uint64 fast vs packed-byte wide) served
+            # this run, and how many rows went through it.
+            for name, value in codec.kernel_stats.snapshot().items():
+                registry.inc("zkernel", name, value)
         total_seconds = time.perf_counter() - started
         run_span.set("skyline", skyline.size)
         run_span.finish()

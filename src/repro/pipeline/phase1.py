@@ -17,7 +17,7 @@ Algorithm 3's mapper, with combiners:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +27,23 @@ from repro.mapreduce.types import Block
 from repro.partitioning.base import DROPPED
 from repro.pipeline.plans import PlanConfig
 from repro.pipeline.preprocess import CACHE_CODEC, CACHE_RULE, CACHE_SZB_TREE
+
+
+def _carry_z(merged: Block, sky_ids: np.ndarray) -> Optional[np.ndarray]:
+    """Z-addresses of the skyline subset of ``merged``, by id lookup.
+
+    Local skyline algorithms return points in their own order (Z-order
+    for ZS, scan order for SB/BNL), so the carried batch is aligned to
+    the output by matching record ids — globally unique by contract —
+    rather than positions.  Returns ``None`` when ``merged`` carries no
+    addresses.
+    """
+    z = merged.zaddresses
+    if z is None:
+        return None
+    order = np.argsort(merged.ids, kind="stable")
+    positions = order[np.searchsorted(merged.ids[order], sky_ids)]
+    return z[positions]
 
 
 def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
@@ -55,14 +72,19 @@ def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
         if points.shape[0] == 0:
             return
 
-        zaddresses = codec.encode_grid(points.astype(np.int64))
-        gids = rule.assign_groups(points, ids, zaddresses)
+        # Encode once, in the kernel's native batch form; the addresses
+        # route the points here and then ride along on the emitted
+        # blocks so no later stage re-encodes them.
+        zbatch = codec.encode_grid_batch(points.astype(np.int64))
+        gids = rule.assign_groups(points, ids, zbatch)
         dropped = gids == DROPPED
         if dropped.any():
             ctx.counters.inc("phase1", "dropped_records", int(dropped.sum()))
         for gid in np.unique(gids[~dropped]):
             mask = gids == gid
-            yield int(gid), Block(ids[mask], points[mask])
+            yield int(gid), Block(
+                ids[mask], points[mask], zaddresses=zbatch[mask]
+            )
 
     def combiner(
         gid: int, blocks: List[Block], ctx: TaskContext
@@ -74,7 +96,7 @@ def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
         ctx.counters.inc(
             "phase1", "combiner_pruned", merged.size - sky_points.shape[0]
         )
-        return [Block(sky_ids, sky_points)]
+        return [Block(sky_ids, sky_points, zaddresses=_carry_z(merged, sky_ids))]
 
     def reducer(gid: int, blocks: List[Block], ctx: TaskContext) -> Block:
         merged = Block.concat(blocks)
@@ -86,7 +108,7 @@ def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
         # (one histogram sample per reduce group).
         ctx.observe("phase1.group_candidates", sky_points.shape[0])
         ctx.observe("phase1.group_input_records", merged.size)
-        return Block(sky_ids, sky_points)
+        return Block(sky_ids, sky_points, zaddresses=_carry_z(merged, sky_ids))
 
     return MapReduceJob(
         name="phase1-candidates",

@@ -81,19 +81,25 @@ def make_partial_merge_job(ways: int) -> MapReduceJob:
 
 def _zmerge_reducer(key: int, blocks: List[Block], ctx: TaskContext) -> Block:
     codec = ctx.cache.get(CACHE_CODEC)
+    # Candidate blocks arrive with the Z-addresses phase 1 computed for
+    # routing; the tree builds reuse them instead of re-encoding (a
+    # block that lost them — e.g. a legacy checkpoint — re-encodes).
     trees = [
-        build_zbtree(codec, block.points, ids=block.ids)
+        build_zbtree(
+            codec, block.points, ids=block.ids, zaddresses=block.zaddresses
+        )
         for block in blocks
         if block.size > 0
     ]
     if not trees:
         return Block.empty(blocks[0].dimensions if blocks else 1)
     merged = zmerge_all(trees, counter=ctx.ops)
-    _, points, ids = merged.collect()
+    zs, points, ids = merged.collect()
     # How many candidate trees each merge reducer folds — the fan-in
     # the two-level ZMP merge is designed to shrink.
     ctx.observe("phase2.merge_fanin", len(trees))
-    return Block(ids, points)
+    # ZMP partials feed a final fold: keep the addresses on the output.
+    return Block(ids, points, zaddresses=codec.as_zbatch(zs))
 
 
 def _make_algorithm_reducer(name: str):

@@ -375,6 +375,12 @@ class PipelineSupervisor:
                     extra_payload={"degradation": degrade_meta},
                 )
 
+        if registry is not None:
+            # Record which kernel path (uint64 fast vs packed-byte
+            # wide) served this run, mirroring the unsupervised driver.
+            for name, value in codec.kernel_stats.snapshot().items():
+                registry.inc("zkernel", name, value)
+
         total_seconds = time.perf_counter() - started
         details = {
             "n": dataset.size,

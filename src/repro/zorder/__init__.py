@@ -4,6 +4,9 @@ This package implements the machinery of Lee et al.'s Z-search algorithm
 ([5] in the paper) that the paper builds on, plus the paper's own Z-merge
 (Algorithm 4):
 
+* :mod:`repro.zorder.kernel` — the vectorized Z-kernel: a uint64 fast
+  path (when ``dimensions * bits_per_dim <= 64``) and a packed-byte wide
+  path for batch interleave/deinterleave/sort/region-bound operations;
 * :mod:`repro.zorder.encoding` — quantisation of float points onto a
   ``2^bits``-per-dimension grid and bit-interleaved Z-addresses;
 * :mod:`repro.zorder.rzregion` — RZ-regions (Definition 2/3) with the
@@ -23,16 +26,19 @@ Z-address" before any computation.
 """
 
 from repro.zorder.encoding import ZGridCodec, quantize_dataset
+from repro.zorder.kernel import KernelStats, ZKernel
 from repro.zorder.rzregion import RegionRelation, RZRegion
 from repro.zorder.zbtree import ZBTree, build_zbtree
 from repro.zorder.zmerge import zmerge, zmerge_all
 from repro.zorder.zsearch import zsearch, zsearch_dataset
 
 __all__ = [
+    "KernelStats",
     "RZRegion",
     "RegionRelation",
     "ZBTree",
     "ZGridCodec",
+    "ZKernel",
     "build_zbtree",
     "quantize_dataset",
     "zmerge",

@@ -1,10 +1,17 @@
 """Z-address encoding: quantisation grid and bit interleaving.
 
 A :class:`ZGridCodec` maps float points to integer grid coordinates and
-interleaves the coordinate bits into a single Z-address.  Z-addresses are
-arbitrary-precision Python ints, so any dimensionality works (the paper's
-real datasets go up to 512 dimensions, i.e. 8192-bit addresses at 16
-bits/dimension).
+interleaves the coordinate bits into a single Z-address.  At the API
+boundary Z-addresses are arbitrary-precision Python ints, so any
+dimensionality works (the paper's real datasets go up to 512 dimensions,
+i.e. 8192-bit addresses at 16 bits/dimension); internally all batch
+operations run on the vectorised :class:`~repro.zorder.kernel.ZKernel`,
+which keeps addresses as a ``uint64`` array whenever
+``dimensions * bits_per_dim <= 64`` (the *fast path*) and as a packed
+big-endian byte matrix otherwise (the *wide path*).  Callers that can
+consume native batches should use ``encode_grid_batch`` /
+``decode_batch``; ``encode_grid`` / ``decode_many`` keep the legacy
+Python-int contract.
 
 Bit layout (most significant first): *level-major, dimension-minor*.  Level
 0 holds the most significant bit of every dimension, dimension 0 first:
@@ -28,6 +35,7 @@ import numpy as np
 
 from repro.core.dataset import Dataset
 from repro.core.exceptions import ZOrderError
+from repro.zorder.kernel import KernelStats, ZBatchLike, ZKernel
 
 DEFAULT_BITS_PER_DIM = 16
 
@@ -75,6 +83,9 @@ class ZGridCodec:
         self.total_bits = self.dimensions * self.bits_per_dim
         self.max_zaddress = (1 << self.total_bits) - 1
         self._pad_bits = (-self.total_bits) % 8
+        self.kernel = ZKernel(self.dimensions, self.bits_per_dim)
+        self.fast_path = self.kernel.fast_path
+        self.kernel_stats = KernelStats()
 
     @property
     def lows(self) -> np.ndarray:
@@ -154,12 +165,13 @@ class ZGridCodec:
     # ------------------------------------------------------------------
     # Z-address encoding
     # ------------------------------------------------------------------
-    def encode_grid(self, grid: np.ndarray) -> List[int]:
-        """Interleave grid coordinates into Z-addresses.
+    def encode_grid_batch(self, grid: np.ndarray) -> np.ndarray:
+        """Interleave grid coordinates into a *native* Z-address batch.
 
-        ``grid`` is an ``(n, d)`` integer array; returns a list of ``n``
-        Python ints.  Vectorised: builds the full bit matrix, packs it to
-        bytes, and converts each row with ``int.from_bytes``.
+        ``grid`` is an ``(n, d)`` integer array; returns the kernel's
+        native form — a ``(n,)`` uint64 array on the fast path, a
+        ``(n, W)`` packed-byte matrix on the wide path.  This is the
+        hot-path entry point: no Python ints are materialised.
         """
         g = np.atleast_2d(np.asarray(grid))
         if g.shape[1] != self.dimensions:
@@ -171,21 +183,18 @@ class ZGridCodec:
                 "grid coordinates out of range for "
                 f"{self.bits_per_dim} bits per dimension"
             )
-        n = g.shape[0]
-        b = self.bits_per_dim
-        d = self.dimensions
-        g64 = g.astype(np.uint64)
-        # bits[i, l, k] = bit (b-1-l) of g[i, k]  -> level-major layout.
-        shifts = np.arange(b - 1, -1, -1, dtype=np.uint64)
-        bits = ((g64[:, None, :] >> shifts[None, :, None]) & np.uint64(1)).astype(
-            np.uint8
-        )
-        flat = bits.reshape(n, b * d)
-        if self._pad_bits:
-            pad = np.zeros((n, self._pad_bits), dtype=np.uint8)
-            flat = np.concatenate([pad, flat], axis=1)
-        packed = np.packbits(flat, axis=1)
-        return [int.from_bytes(row.tobytes(), "big") for row in packed]
+        name = "encode_fast" if self.fast_path else "encode_wide"
+        self.kernel_stats.record(name, g.shape[0])
+        return self.kernel.interleave(g)
+
+    def encode_grid(self, grid: np.ndarray) -> List[int]:
+        """Interleave grid coordinates into Z-addresses.
+
+        ``grid`` is an ``(n, d)`` integer array; returns a list of ``n``
+        Python ints (the legacy wire form; batch callers should prefer
+        :meth:`encode_grid_batch`).
+        """
+        return self.kernel.to_int_list(self.encode_grid_batch(grid))
 
     def encode(self, points: np.ndarray) -> List[int]:
         """Quantise float points and return their Z-addresses."""
@@ -195,29 +204,48 @@ class ZGridCodec:
         """Z-address of a single float point."""
         return self.encode(np.atleast_2d(point))[0]
 
+    def as_zbatch(self, zaddresses: ZBatchLike) -> np.ndarray:
+        """Coerce Python ints or a native array into a native batch."""
+        return self.kernel.as_batch(zaddresses)
+
+    def _check_zbatch_range(self, zbatch: np.ndarray) -> None:
+        """Reject batches whose addresses exceed ``total_bits``."""
+        if zbatch.shape[0] == 0:
+            return
+        if self.fast_path:
+            if self.total_bits < 64 and int(zbatch.max()) > self.max_zaddress:
+                raise ZOrderError(
+                    f"z-address out of range for {self.total_bits} bits"
+                )
+        elif self.kernel.pad_bits:
+            # Padding bits occupy the top of byte 0 and must be zero.
+            if int(zbatch[:, 0].max()) >> (8 - self.kernel.pad_bits):
+                raise ZOrderError(
+                    f"z-address out of range for {self.total_bits} bits"
+                )
+
+    def decode_batch(self, zbatch: np.ndarray) -> np.ndarray:
+        """De-interleave a native Z-address batch to ``(n, d)`` uint32."""
+        self._check_zbatch_range(zbatch)
+        name = "decode_fast" if self.fast_path else "decode_wide"
+        self.kernel_stats.record(name, zbatch.shape[0])
+        return self.kernel.deinterleave(zbatch)
+
     def decode_to_grid(self, zaddress: int) -> np.ndarray:
         """De-interleave a Z-address back to grid coordinates ``(d,)``."""
         if not (0 <= zaddress <= self.max_zaddress):
             raise ZOrderError(
                 f"z-address {zaddress} out of range for {self.total_bits} bits"
             )
-        b = self.bits_per_dim
-        d = self.dimensions
-        grid = np.zeros(d, dtype=np.uint32)
-        z = zaddress
-        # Walk from least significant bit (level b-1, dim d-1) upwards.
-        for level in range(b - 1, -1, -1):
-            for k in range(d - 1, -1, -1):
-                if z & 1:
-                    grid[k] |= np.uint32(1 << (b - 1 - level))
-                z >>= 1
-        return grid
+        return self.decode_batch(self.kernel.from_ints([zaddress]))[0]
 
-    def decode_many(self, zaddresses: Sequence[int]) -> np.ndarray:
-        """Decode several Z-addresses into an ``(n, d)`` grid array."""
-        return np.array(
-            [self.decode_to_grid(z) for z in zaddresses], dtype=np.uint32
-        ).reshape(len(zaddresses), self.dimensions)
+    def decode_many(self, zaddresses: ZBatchLike) -> np.ndarray:
+        """Decode Z-addresses into an ``(n, d)`` grid array.
+
+        Accepts either a native batch or any sequence of Python ints;
+        both routes run the vectorised kernel de-interleave.
+        """
+        return self.decode_batch(self.kernel.as_batch(zaddresses))
 
     # ------------------------------------------------------------------
     # Prefix arithmetic (used by RZ-regions)

@@ -64,11 +64,18 @@ class ZBLeaf:
         points: np.ndarray,
         ids: np.ndarray,
         codec: ZGridCodec,
+        region: Optional[RZRegion] = None,
     ) -> None:
         self.zaddresses = zaddresses
         self.points = points
         self.ids = ids
-        self.region = RZRegion(codec, zaddresses[0], zaddresses[-1])
+        # The bulk build precomputes all regions in one vectorised pass
+        # and passes them in; standalone construction derives the region.
+        self.region = (
+            region
+            if region is not None
+            else RZRegion(codec, zaddresses[0], zaddresses[-1])
+        )
 
     @property
     def is_leaf(self) -> bool:
@@ -92,10 +99,17 @@ class ZBInternal:
 
     __slots__ = ("children", "region")
 
-    def __init__(self, children: List["ZBNode"], codec: ZGridCodec) -> None:
+    def __init__(
+        self,
+        children: List["ZBNode"],
+        codec: ZGridCodec,
+        region: Optional[RZRegion] = None,
+    ) -> None:
         self.children = children
-        self.region = RZRegion(
-            codec, children[0].data_minz, children[-1].data_maxz
+        self.region = (
+            region
+            if region is not None
+            else RZRegion(codec, children[0].data_minz, children[-1].data_maxz)
         )
 
     @property
@@ -462,11 +476,16 @@ def build_zbtree(
     codec: ZGridCodec,
     points: np.ndarray,
     ids: Optional[Sequence[int]] = None,
-    zaddresses: Optional[Sequence[int]] = None,
+    zaddresses: Optional[Union[Sequence[int], np.ndarray]] = None,
     leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
     fanout: int = DEFAULT_FANOUT,
 ) -> ZBTree:
     """Bulk-build a ZB-tree bottom-up from grid points.
+
+    The build is fully batched: encoding, the (stable) Z-sort, and the
+    RZ-region corners of *every* node — leaves and all internal levels —
+    are computed in single vectorised kernel passes.  Per-node Python
+    work is limited to object construction.
 
     Parameters
     ----------
@@ -477,7 +496,8 @@ def build_zbtree(
         Optional stable identifiers (default ``0..n-1``).
     zaddresses:
         Optional precomputed Z-addresses matching ``points`` (skips
-        re-encoding).  They need not be sorted; the build sorts.
+        re-encoding).  Either a sequence of Python ints or a native
+        kernel batch.  They need not be sorted; the build sorts.
     """
     if leaf_capacity < 2 or fanout < 2:
         raise ZOrderError("leaf_capacity and fanout must both be >= 2")
@@ -494,34 +514,74 @@ def build_zbtree(
     if n == 0:
         return ZBTree(codec, None, leaf_capacity, fanout)
 
+    kernel = codec.kernel
     if zaddresses is None:
-        zlist = codec.encode_grid(pts.astype(np.int64))
+        zbatch = codec.encode_grid_batch(pts.astype(np.int64))
     else:
-        zlist = list(zaddresses)
-        if len(zlist) != n:
+        zbatch = codec.as_zbatch(zaddresses)
+        if zbatch.shape[0] != n:
             raise ZOrderError("zaddresses must match points length")
 
-    order = sorted(range(n), key=lambda i: zlist[i])
-    zsorted = [zlist[i] for i in order]
+    # Stable sort keeps equal Z-addresses (duplicate grid points) in
+    # input order, matching the former Python ``sorted`` behaviour.
+    order = kernel.argsort(zbatch)
+    zsorted_batch = zbatch[order]
+    zsorted = kernel.to_int_list(zsorted_batch)
     psorted = pts[order]
     isorted = id_arr[order]
 
-    leaves: List[ZBNode] = []
-    for start in range(0, n, leaf_capacity):
-        end = min(start + leaf_capacity, n)
-        leaves.append(
+    # Node index ranges into the sorted arrays, bottom-up: leaves first,
+    # then each internal level, so one region_bounds + two decode calls
+    # cover every node in the tree.
+    leaf_ranges = [
+        (start, min(start + leaf_capacity, n))
+        for start in range(0, n, leaf_capacity)
+    ]
+    range_levels: List[List[Tuple[int, int]]] = [leaf_ranges]
+    while len(range_levels[-1]) > 1:
+        prev = range_levels[-1]
+        range_levels.append(
+            [
+                (prev[start][0], prev[min(start + fanout, len(prev)) - 1][1])
+                for start in range(0, len(prev), fanout)
+            ]
+        )
+    all_ranges = [rng for lvl in range_levels for rng in lvl]
+    starts = np.fromiter((r[0] for r in all_ranges), dtype=np.int64)
+    ends = np.fromiter((r[1] for r in all_ranges), dtype=np.int64)
+    minz_b, maxz_b = kernel.region_bounds(
+        zsorted_batch[starts], zsorted_batch[ends - 1]
+    )
+    minpts = codec.decode_batch(minz_b).astype(np.int64)
+    maxpts = codec.decode_batch(maxz_b).astype(np.int64)
+    minz_ints = kernel.to_int_list(minz_b)
+    maxz_ints = kernel.to_int_list(maxz_b)
+    regions = [
+        RZRegion.from_corners(minz_ints[i], maxz_ints[i], minpts[i], maxpts[i])
+        for i in range(len(all_ranges))
+    ]
+
+    pos = 0
+    level: List[ZBNode] = []
+    for start, end in leaf_ranges:
+        level.append(
             ZBLeaf(
                 zsorted[start:end],
                 psorted[start:end],
                 isorted[start:end],
                 codec,
+                region=regions[pos],
             )
         )
-    level: List[ZBNode] = leaves
-    while len(level) > 1:
+        pos += 1
+    for range_level in range_levels[1:]:
         parents: List[ZBNode] = []
-        for start in range(0, len(level), fanout):
-            parents.append(ZBInternal(level[start : start + fanout], codec))
+        child_pos = 0
+        for _ in range_level:
+            group = level[child_pos : child_pos + fanout]
+            child_pos += fanout
+            parents.append(ZBInternal(group, codec, region=regions[pos]))
+            pos += 1
         level = parents
     return ZBTree(codec, level[0], leaf_capacity, fanout)
 
