@@ -165,6 +165,44 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--workers", type=int, default=8)
     cmp_parser.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve-bench",
+        help="replay a seeded mixed workload against the serving layer",
+    )
+    serve.add_argument(
+        "--dist",
+        default="independent",
+        choices=["independent", "correlated", "anticorrelated"],
+    )
+    serve.add_argument("-n", "--num-points", type=int, default=5_000)
+    serve.add_argument("-d", "--dimensions", type=int, default=5)
+    serve.add_argument("--bits", type=int, default=12,
+                       help="grid bits per dimension")
+    serve.add_argument("--ops", type=int, default=500,
+                       help="operations to replay")
+    serve.add_argument("--read-fraction", type=float, default=0.9)
+    serve.add_argument("--query-pool", type=int, default=8,
+                       help="distinct read queries in rotation")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="points per insert/delete batch")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="read-query worker threads")
+    serve.add_argument("--cache-size", type=int, default=512,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--max-deletes", type=int, default=None,
+                       help="drift policy: rebuild after this many deletes")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS", help="per-request deadline")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="export per-request span trace as JSONL",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="export serving metrics (counters/histograms) as JSONL",
+    )
+
     reproduce = sub.add_parser(
         "reproduce",
         help="run all claim checks and write a reproduction report",
@@ -384,6 +422,94 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.tracer import NULL_TRACER, Tracer
+    from repro.serving import (
+        AdmissionConfig,
+        DatasetRegistry,
+        DriftPolicy,
+        ServiceConfig,
+        SkylineService,
+        WorkloadSpec,
+        replay_workload,
+    )
+
+    from repro.core.exceptions import ReproError
+
+    dataset = generate(
+        args.dist, args.num_points, args.dimensions, seed=args.seed
+    )
+    metrics = MetricsRegistry()
+    tracer = Tracer() if args.trace_out else NULL_TRACER
+    registry = DatasetRegistry(metrics=metrics)
+    try:
+        registry.register_dataset(
+            "bench",
+            dataset,
+            bits_per_dim=args.bits,
+            drift=DriftPolicy.bounded(max_deletes=args.max_deletes),
+        )
+        config = ServiceConfig(
+            admission=AdmissionConfig(read_concurrency=args.workers),
+            cache_entries=args.cache_size,
+        )
+        spec = WorkloadSpec(
+            dataset="bench",
+            operations=args.ops,
+            read_fraction=args.read_fraction,
+            query_pool=args.query_pool,
+            batch_size=args.batch_size,
+            seed=args.seed,
+            timeout_seconds=args.timeout,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with SkylineService(
+        registry, config=config, metrics=metrics, tracer=tracer
+    ) as service:
+        report = replay_workload(service, spec)
+        stats = service.admission.stats()
+    print(f"dataset   : {dataset.name}")
+    summary = report.summary()
+    for key in (
+        "operations", "reads", "writes", "shed", "expired",
+        "cache_hits", "final_version", "final_skyline_size",
+    ):
+        print(f"{key:20s}: {summary[key]}")
+    print(f"{'cache_hit_rate':20s}: {summary['cache_hit_rate']:.3f}")
+    print(f"{'elapsed_seconds':20s}: {report.elapsed_seconds:.3f}")
+    print(f"{'throughput_ops/s':20s}: {report.throughput:.1f}")
+    for which in ("read", "write"):
+        pct = report.latency_percentiles(which)
+        print(
+            f"{which + '_latency_ms':20s}: "
+            f"p50={pct['p50'] * 1e3:.2f} p90={pct['p90'] * 1e3:.2f} "
+            f"p99={pct['p99'] * 1e3:.2f}"
+        )
+    wait = report.queue_wait_percentiles()
+    print(
+        f"{'queue_wait_ms':20s}: "
+        f"p50={wait['p50'] * 1e3:.2f} p90={wait['p90'] * 1e3:.2f} "
+        f"p99={wait['p99'] * 1e3:.2f}"
+    )
+    for klass, s in stats.items():
+        print(
+            f"{klass + ' admission':20s}: {s['admitted']} admitted, "
+            f"{s['rejected']} rejected, {s['expired']} expired"
+        )
+    if args.trace_out:
+        count = tracer.export_jsonl(args.trace_out)
+        print(f"{'trace':20s}: wrote {count} spans to {args.trace_out}")
+    if args.metrics_out:
+        count = metrics.export_jsonl(args.metrics_out)
+        print(
+            f"{'metrics':20s}: wrote {count} records to {args.metrics_out}"
+        )
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -396,6 +522,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_estimate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "reproduce":
         return _cmd_reproduce(args)
     return _cmd_list()

@@ -34,6 +34,19 @@ class FaultInjectionError(MapReduceError):
     """Raised when fault injection exhausts a task's retry budget."""
 
 
+class ServingError(ReproError):
+    """Base class for errors raised by the query-serving layer."""
+
+
+class OverloadedError(ServingError):
+    """Raised when admission control sheds a request.
+
+    The bounded request queue for the request's class (read or mutate)
+    is full; the caller should back off and retry.  Carries no partial
+    result — the request was never admitted.
+    """
+
+
 class DeadlineExceededError(MapReduceError):
     """Raised when a stage or whole-run wall-clock budget is exhausted.
 

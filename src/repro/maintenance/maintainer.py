@@ -13,26 +13,79 @@ for float data.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+import time
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.exceptions import DatasetError
 from repro.core.point import dominated_mask
+from repro.observability.metrics import MetricsRegistry
 from repro.zorder.encoding import ZGridCodec
 from repro.zorder.zbtree import OpCounter, ZBTree, build_zbtree
 from repro.zorder.zmerge import zmerge
 from repro.zorder.zsearch import zsearch
 
+#: metrics group all maintainer observations are filed under
+MAINTENANCE_GROUP = "maintenance"
+
 
 class SkylineMaintainer:
-    """Maintain the skyline of a set under inserts and deletes."""
+    """Maintain the skyline of a set under inserts and deletes.
 
-    def __init__(self, codec: ZGridCodec) -> None:
+    ``metrics``, when given, receives per-operation accounting under the
+    ``maintenance`` counter group (operation and record counts plus the
+    dominance-test deltas of each op) and ``maintenance.*_seconds``
+    timers, so a service embedding a maintainer can see what its write
+    path costs alongside the serving-side metrics.
+    """
+
+    def __init__(
+        self,
+        codec: ZGridCodec,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.codec = codec
         self.counter = OpCounter()
+        self.metrics = metrics
         self._archive: Dict[int, np.ndarray] = {}
         self._sky: ZBTree = build_zbtree(codec, np.empty((0, codec.dimensions)))
+        #: cached skyline id-set; invalidated on every mutation and
+        #: rebuilt lazily so membership probes are O(1) between updates
+        self._sky_id_cache: Optional[FrozenSet[int]] = None
+
+    @classmethod
+    def from_state(
+        cls,
+        codec: ZGridCodec,
+        points: np.ndarray,
+        ids: np.ndarray,
+        skyline_ids: Sequence[int],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "SkylineMaintainer":
+        """Adopt precomputed state without re-deriving the skyline.
+
+        ``skyline_ids`` must identify the exact skyline rows of
+        ``(points, ids)`` — e.g. the output of a full pipeline run.  The
+        drift-rebuild path uses this to swap a freshly recomputed
+        skyline in beneath an unchanged archive.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if points.ndim != 2 or ids.shape != (points.shape[0],):
+            raise DatasetError("need (n, d) points and matching ids")
+        maintainer = cls(codec, metrics=metrics)
+        for pid, row in zip(ids, points):
+            maintainer._archive[int(pid)] = row.copy()
+        sky_set = {int(pid) for pid in skyline_ids}
+        missing = sky_set - set(maintainer._archive)
+        if missing:
+            raise DatasetError(
+                f"skyline ids not present in archive: {sorted(missing)[:5]}"
+            )
+        keep = np.array([int(i) in sky_set for i in ids], dtype=bool)
+        maintainer._sky = build_zbtree(codec, points[keep], ids=ids[keep])
+        return maintainer
 
     # ------------------------------------------------------------------
     # Introspection
@@ -51,11 +104,70 @@ class SkylineMaintainer:
         _, points, ids = self._sky.collect()
         return points, ids
 
+    def alive(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Every alive point as ``(points, ids)`` in insertion order."""
+        if not self._archive:
+            d = self.codec.dimensions
+            return np.empty((0, d)), np.empty(0, dtype=np.int64)
+        ids = np.fromiter(self._archive, dtype=np.int64)
+        points = np.vstack([self._archive[int(i)] for i in ids])
+        return points, ids
+
+    def skyline_id_set(self) -> FrozenSet[int]:
+        """The skyline's id-set, cached between mutations (O(1) reads)."""
+        cached = self._sky_id_cache
+        if cached is None:
+            cached = frozenset(int(i) for i in self._sky.ids())
+            self._sky_id_cache = cached
+        return cached
+
     def is_skyline_member(self, point_id: int) -> bool:
-        """Is the given alive point currently on the skyline?"""
+        """Is the given alive point currently on the skyline?
+
+        O(1) against the cached id-set (rebuilt at most once per
+        mutation) — the serving layer probes this per explain-query.
+        """
         if point_id not in self._archive:
             raise DatasetError(f"point id {point_id} is not alive")
-        return point_id in set(self._sky.ids().tolist())
+        return point_id in self.skyline_id_set()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _record_op(
+        self,
+        op: str,
+        records: int,
+        before: Tuple[int, int, int],
+        started: float,
+    ) -> None:
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.inc(MAINTENANCE_GROUP, f"{op}s")
+        registry.inc(MAINTENANCE_GROUP, f"{op}_records", records)
+        registry.inc(
+            MAINTENANCE_GROUP, "point_tests",
+            self.counter.point_tests - before[0],
+        )
+        registry.inc(
+            MAINTENANCE_GROUP, "region_tests",
+            self.counter.region_tests - before[1],
+        )
+        registry.inc(
+            MAINTENANCE_GROUP, "nodes_visited",
+            self.counter.nodes_visited - before[2],
+        )
+        registry.record_time(
+            f"maintenance.{op}_seconds", time.perf_counter() - started
+        )
+
+    def _counter_snapshot(self) -> Tuple[int, int, int]:
+        return (
+            self.counter.point_tests,
+            self.counter.region_tests,
+            self.counter.nodes_visited,
+        )
 
     # ------------------------------------------------------------------
     # Updates
@@ -74,6 +186,8 @@ class SkylineMaintainer:
         Z-merged into the maintained skyline tree — the same fold the
         distributed pipeline's phase 2 performs.
         """
+        started = time.perf_counter()
+        before = self._counter_snapshot()
         points = np.asarray(points, dtype=np.float64)
         ids = np.asarray(ids, dtype=np.int64)
         if points.ndim != 2 or ids.shape != (points.shape[0],):
@@ -87,6 +201,8 @@ class SkylineMaintainer:
         batch_sky, batch_ids = zsearch(batch_tree, self.counter)
         src = build_zbtree(self.codec, batch_sky, ids=batch_ids)
         self._sky = zmerge(self._sky, src, self.counter)
+        self._sky_id_cache = None
+        self._record_op("insert", int(ids.shape[0]), before, started)
 
     def delete(self, point_ids: Sequence[int]) -> None:
         """Delete a batch of points by id.
@@ -96,12 +212,20 @@ class SkylineMaintainer:
         region are candidates to surface; the union of survivors' local
         skyline is Z-merged back in.
         """
+        started = time.perf_counter()
+        before = self._counter_snapshot()
         doomed = {int(pid) for pid in point_ids}
         missing = doomed - set(self._archive)
         if missing:
             raise DatasetError(f"point ids not alive: {sorted(missing)}")
+        try:
+            self._delete_impl(doomed)
+        finally:
+            self._sky_id_cache = None
+        self._record_op("delete", len(doomed), before, started)
 
-        sky_ids = set(self._sky.ids().tolist())
+    def _delete_impl(self, doomed: set) -> None:
+        sky_ids = self.skyline_id_set()
         deleted_sky = doomed & sky_ids
         deleted_sky_points = np.array(
             [self._archive[pid] for pid in deleted_sky]

@@ -25,9 +25,10 @@ import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Tuple
 
-from repro.mapreduce.counters import Counters
+if TYPE_CHECKING:  # runtime import would cycle through repro.mapreduce
+    from repro.mapreduce.counters import Counters
 
 
 def _percentile(samples: List[float], q: float) -> float:
@@ -68,14 +69,14 @@ class MetricsRegistry:
                 out.setdefault(group, {})[name] = value
             return out
 
-    def absorb_counters(self, counters: Counters) -> None:
+    def absorb_counters(self, counters: "Counters") -> None:
         """Fold a Hadoop-style job counter set into the registry."""
         for group, names in counters.as_dict().items():
             for name, value in names.items():
                 self.inc(group, name, value)
 
     @classmethod
-    def from_counters(cls, counters: Counters) -> "MetricsRegistry":
+    def from_counters(cls, counters: "Counters") -> "MetricsRegistry":
         registry = cls()
         registry.absorb_counters(counters)
         return registry

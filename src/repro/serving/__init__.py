@@ -1,0 +1,63 @@
+"""repro.serving — concurrent skyline query serving.
+
+The serving layer turns the offline skyline machinery into a
+long-lived service: named datasets live in a
+:class:`~repro.serving.registry.DatasetRegistry` as immutable,
+monotonically versioned :class:`~repro.serving.snapshot.Snapshot`\\ s;
+a :class:`~repro.serving.service.SkylineService` executes typed
+queries on bounded worker pools behind admission control, with a
+version-keyed LRU result cache; and
+:class:`~repro.serving.client.SkylineClient` /
+:func:`~repro.serving.client.replay_workload` provide the caller-side
+facade and the seeded benchmark workload.
+"""
+
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Ticket,
+)
+from repro.serving.cache import ResultCache
+from repro.serving.client import (
+    ReplayReport,
+    SkylineClient,
+    WorkloadSpec,
+    replay_workload,
+)
+from repro.serving.registry import (
+    DatasetRegistry,
+    DriftPolicy,
+    PublishResult,
+    RebuildConfig,
+)
+from repro.serving.service import (
+    Mutation,
+    MutationResult,
+    Query,
+    QueryResult,
+    ServiceConfig,
+    SkylineService,
+)
+from repro.serving.snapshot import Snapshot
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "DatasetRegistry",
+    "DriftPolicy",
+    "Mutation",
+    "MutationResult",
+    "PublishResult",
+    "Query",
+    "QueryResult",
+    "RebuildConfig",
+    "ReplayReport",
+    "ResultCache",
+    "ServiceConfig",
+    "SkylineClient",
+    "SkylineService",
+    "Snapshot",
+    "Ticket",
+    "WorkloadSpec",
+    "replay_workload",
+]

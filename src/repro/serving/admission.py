@@ -1,0 +1,233 @@
+"""Admission control: bounded queues, load shedding, wait accounting.
+
+A service that accepts every request melts down under overload: queues
+grow without bound and every request's latency goes with them.  The
+:class:`AdmissionController` keeps the service in its operating region:
+
+* requests are classified **read** or **mutate**, each with its own
+  bounded wait queue and concurrency limit (mutations default to a
+  single writer, matching the registry's per-dataset writer lock);
+* when a class's wait queue is full the request is *shed* immediately
+  with a typed :class:`~repro.core.exceptions.OverloadedError` — the
+  caller learns in microseconds, not after a doomed wait;
+* every admitted request carries a :class:`Ticket` whose queue-wait and
+  service-time land in ``serving.<class>_queue_wait_seconds`` /
+  ``serving.<class>_service_seconds`` histograms on the shared
+  metrics registry, so p99 queue wait is always observable.
+
+The controller only does accounting and shedding decisions; the actual
+worker pools live in :class:`~repro.serving.service.SkylineService`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.exceptions import ConfigurationError, OverloadedError
+from repro.observability.metrics import MetricsRegistry
+
+from repro.serving.registry import SERVING_GROUP
+
+#: request classes
+READ = "read"
+MUTATE = "mutate"
+CLASSES = (READ, MUTATE)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Queue bounds and concurrency limits, per request class."""
+
+    #: worker threads executing read queries concurrently
+    read_concurrency: int = 4
+    #: worker threads executing mutations (1 = serialized writes)
+    mutate_concurrency: int = 1
+    #: admitted-but-not-yet-running reads tolerated before shedding
+    max_read_queue: int = 64
+    #: admitted-but-not-yet-running mutations tolerated before shedding
+    max_mutate_queue: int = 16
+    #: deadline applied to queries that don't carry their own
+    #: ``timeout_seconds`` (None = no default deadline)
+    default_timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.read_concurrency <= 0 or self.mutate_concurrency <= 0:
+            raise ConfigurationError("concurrency limits must be positive")
+        if self.max_read_queue < 0 or self.max_mutate_queue < 0:
+            raise ConfigurationError("queue bounds must be >= 0")
+        if (
+            self.default_timeout_seconds is not None
+            and self.default_timeout_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "default_timeout_seconds must be positive"
+            )
+
+    def concurrency(self, klass: str) -> int:
+        return (
+            self.read_concurrency if klass == READ
+            else self.mutate_concurrency
+        )
+
+    def max_queue(self, klass: str) -> int:
+        return self.max_read_queue if klass == READ else self.max_mutate_queue
+
+
+@dataclass
+class Ticket:
+    """One admitted request's accounting record."""
+
+    klass: str
+    admitted_at: float
+    #: absolute monotonic deadline (None = no deadline)
+    deadline: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.admitted_at
+
+    @property
+    def service_seconds(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+
+class AdmissionController:
+    """Shed-or-admit decisions plus queue/service accounting."""
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._queued: Dict[str, int] = {klass: 0 for klass in CLASSES}
+        self._running: Dict[str, int] = {klass: 0 for klass in CLASSES}
+        self._admitted: Dict[str, int] = {klass: 0 for klass in CLASSES}
+        self._rejected: Dict[str, int] = {klass: 0 for klass in CLASSES}
+        self._expired: Dict[str, int] = {klass: 0 for klass in CLASSES}
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (called by the service)
+    # ------------------------------------------------------------------
+    def admit(
+        self, klass: str, timeout_seconds: Optional[float] = None
+    ) -> Ticket:
+        """Admit or shed one request of the given class.
+
+        Raises :class:`OverloadedError` when the class's wait queue is
+        at capacity; otherwise returns the request's :class:`Ticket`
+        with its deadline resolved.
+        """
+        if klass not in CLASSES:
+            raise ConfigurationError(f"unknown request class {klass!r}")
+        cfg = self.config
+        with self._lock:
+            if self._queued[klass] >= cfg.max_queue(klass):
+                self._rejected[klass] += 1
+                queued = self._queued[klass]
+            else:
+                self._queued[klass] += 1
+                self._admitted[klass] += 1
+                queued = -1
+        if queued >= 0:
+            if self.metrics is not None:
+                self.metrics.inc(SERVING_GROUP, f"{klass}_rejected")
+            raise OverloadedError(
+                f"{klass} queue full ({queued} waiting >= "
+                f"{cfg.max_queue(klass)}); request shed"
+            )
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, f"{klass}_admitted")
+        timeout = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else cfg.default_timeout_seconds
+        )
+        now = time.monotonic()
+        return Ticket(
+            klass=klass,
+            admitted_at=now,
+            deadline=None if timeout is None else now + timeout,
+        )
+
+    def started(self, ticket: Ticket) -> None:
+        """A worker dequeued the request and is about to execute it."""
+        ticket.started_at = time.monotonic()
+        with self._lock:
+            self._queued[ticket.klass] -= 1
+            self._running[ticket.klass] += 1
+        if self.metrics is not None:
+            self.metrics.observe(
+                f"serving.{ticket.klass}_queue_wait_seconds",
+                ticket.queue_wait_seconds,
+            )
+
+    def finished(self, ticket: Ticket, ok: bool = True) -> None:
+        """Execution ended (successfully or not)."""
+        ticket.finished_at = time.monotonic()
+        with self._lock:
+            self._running[ticket.klass] -= 1
+        if self.metrics is not None:
+            self.metrics.observe(
+                f"serving.{ticket.klass}_service_seconds",
+                ticket.service_seconds,
+            )
+            if not ok:
+                self.metrics.inc(SERVING_GROUP, f"{ticket.klass}_failed")
+
+    def expire(self, ticket: Ticket, dequeued: bool = False) -> None:
+        """The request's deadline passed before execution started.
+
+        ``dequeued`` tells the controller whether the request had
+        already left the wait queue (a worker popped it) or is being
+        dropped in place.
+        """
+        with self._lock:
+            if not dequeued:
+                self._queued[ticket.klass] -= 1
+            self._expired[ticket.klass] += 1
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, f"{ticket.klass}_expired")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-class admitted/rejected/expired/queued/running snapshot."""
+        with self._lock:
+            return {
+                klass: {
+                    "admitted": self._admitted[klass],
+                    "rejected": self._rejected[klass],
+                    "expired": self._expired[klass],
+                    "queued": self._queued[klass],
+                    "running": self._running[klass],
+                }
+                for klass in CLASSES
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            "AdmissionController("
+            + ", ".join(
+                f"{klass}: {s['admitted']}a/{s['rejected']}r"
+                for klass, s in stats.items()
+            )
+            + ")"
+        )

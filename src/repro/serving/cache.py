@@ -1,0 +1,117 @@
+"""Size-bounded LRU result cache keyed by ``(dataset, version, query)``.
+
+Because the snapshot version is part of the key, publishing a new
+version *is* the invalidation: queries against the new version simply
+miss, and entries for superseded versions age out of the LRU tail on
+their own.  Nothing ever has to be flushed, and a reader still holding
+an old snapshot keeps getting (correct) hits for it.
+
+Cached values are the query handlers' frozen payloads (write-protected
+numpy arrays), so handing the same object to many readers is safe.
+Hits, misses, and evictions flow into the shared
+:class:`~repro.observability.metrics.MetricsRegistry` under the
+``serving`` group.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+from repro.core.exceptions import ConfigurationError
+from repro.observability.metrics import MetricsRegistry
+
+from repro.serving.registry import SERVING_GROUP
+
+#: cache key: (dataset name, snapshot version, canonical fingerprint)
+CacheKey = Tuple[str, int, str]
+
+
+class ResultCache:
+    """Thread-safe LRU over query results (entry-count bounded)."""
+
+    def __init__(
+        self,
+        max_entries: int = 512,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_entries <= 0:
+            raise ConfigurationError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.metrics = metrics
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @staticmethod
+    def make_key(dataset: str, version: int, fingerprint: str) -> CacheKey:
+        return (dataset, int(version), fingerprint)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: CacheKey) -> Tuple[bool, Any]:
+        """``(hit, value)``; a hit moves the entry to the MRU end."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                value = self._entries[key]
+                hit = True
+            else:
+                self._misses += 1
+                value, hit = None, False
+        if self.metrics is not None:
+            self.metrics.inc(
+                SERVING_GROUP, "cache_hits" if hit else "cache_misses"
+            )
+        return hit, value
+
+    def store(self, key: CacheKey, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail."""
+        evicted = 0
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        if evicted and self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, "cache_evictions", evicted)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

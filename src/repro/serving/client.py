@@ -1,0 +1,309 @@
+"""In-process client facade + seeded workload replay.
+
+:class:`SkylineClient` wraps a :class:`SkylineService` with one plain
+method per query/mutation type, hiding the Query/Mutation dataclasses
+and futures — the shape a normal caller wants.
+
+:func:`replay_workload` drives a service with a seeded, mixed
+read/write workload (the same generator backs the ``repro serve-bench``
+CLI and ``benchmarks/test_serving.py``), and reports throughput,
+latency percentiles, cache hit rate, and shed/expired counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadedError,
+)
+from repro.serving.service import (
+    Mutation,
+    MutationResult,
+    Query,
+    QueryResult,
+    SkylineService,
+)
+
+
+class SkylineClient:
+    """Blocking convenience facade over a :class:`SkylineService`."""
+
+    def __init__(self, service: SkylineService, dataset: str) -> None:
+        self.service = service
+        self.dataset = dataset
+
+    # -- reads ---------------------------------------------------------
+    def skyline(self, **kw: object) -> QueryResult:
+        """The full skyline of the current version."""
+        return self.service.query(Query.full(self.dataset, **kw))
+
+    def subspace(self, dims: Sequence[int], **kw: object) -> QueryResult:
+        return self.service.query(Query.subspace(self.dataset, dims, **kw))
+
+    def k_dominant(self, k: int, **kw: object) -> QueryResult:
+        return self.service.query(Query.kdominant(self.dataset, k, **kw))
+
+    def top_k(
+        self,
+        k: int,
+        method: str = "sum",
+        weights: Optional[Sequence[float]] = None,
+        **kw: object,
+    ) -> QueryResult:
+        return self.service.query(
+            Query.topk(self.dataset, k, method=method, weights=weights, **kw)
+        )
+
+    def why_not(
+        self,
+        point: Optional[Sequence[float]] = None,
+        point_id: Optional[int] = None,
+        **kw: object,
+    ) -> QueryResult:
+        return self.service.query(
+            Query.explain(self.dataset, point=point, point_id=point_id, **kw)
+        )
+
+    # -- writes --------------------------------------------------------
+    def insert(
+        self, points: np.ndarray, ids: Sequence[int], **kw: object
+    ) -> MutationResult:
+        return self.service.mutate(
+            Mutation.insert(self.dataset, points, ids, **kw)
+        )
+
+    def delete(self, ids: Sequence[int], **kw: object) -> MutationResult:
+        return self.service.mutate(Mutation.delete(self.dataset, ids, **kw))
+
+    @property
+    def version(self) -> int:
+        return self.service.registry.version(self.dataset)
+
+
+# ----------------------------------------------------------------------
+# workload replay
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded mixed read/write workload against one dataset.
+
+    Reads are drawn from a small pool of distinct queries (so repeated
+    queries exercise the cache, like real dashboards do); writes
+    alternate inserts of fresh points with deletes of random alive ids.
+    """
+
+    dataset: str
+    operations: int = 500
+    read_fraction: float = 0.9
+    #: distinct read queries in the rotation pool
+    query_pool: int = 8
+    #: points per insert batch / ids per delete batch
+    batch_size: int = 8
+    seed: int = 0
+    timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.operations <= 0:
+            raise ConfigurationError("operations must be positive")
+        if not (0.0 <= self.read_fraction <= 1.0):
+            raise ConfigurationError("read_fraction must be in [0, 1]")
+        if self.query_pool <= 0 or self.batch_size <= 0:
+            raise ConfigurationError(
+                "query_pool and batch_size must be positive"
+            )
+
+
+@dataclass
+class ReplayReport:
+    """What happened during one :func:`replay_workload` run."""
+
+    operations: int = 0
+    reads: int = 0
+    writes: int = 0
+    shed: int = 0
+    expired: int = 0
+    cache_hits: int = 0
+    elapsed_seconds: float = 0.0
+    read_latencies: List[float] = field(default_factory=list)
+    write_latencies: List[float] = field(default_factory=list)
+    queue_waits: List[float] = field(default_factory=list)
+    final_version: int = 0
+    final_skyline_size: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return (self.reads + self.writes) / self.elapsed_seconds
+
+    @staticmethod
+    def _percentile(values: Sequence[float], q: float) -> float:
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+    def latency_percentiles(
+        self, which: str = "read"
+    ) -> Dict[str, float]:
+        values = (
+            self.read_latencies if which == "read" else self.write_latencies
+        )
+        return {
+            "p50": self._percentile(values, 50),
+            "p90": self._percentile(values, 90),
+            "p99": self._percentile(values, 99),
+        }
+
+    def queue_wait_percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": self._percentile(self.queue_waits, 50),
+            "p90": self._percentile(self.queue_waits, 90),
+            "p99": self._percentile(self.queue_waits, 99),
+        }
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "operations": self.operations,
+            "reads": self.reads,
+            "writes": self.writes,
+            "shed": self.shed,
+            "expired": self.expired,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": (
+                self.cache_hits / self.reads if self.reads else 0.0
+            ),
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_ops_per_second": self.throughput,
+            "read_latency_seconds": self.latency_percentiles("read"),
+            "write_latency_seconds": self.latency_percentiles("write"),
+            "queue_wait_seconds": self.queue_wait_percentiles(),
+            "final_version": self.final_version,
+            "final_skyline_size": self.final_skyline_size,
+        }
+
+
+def _build_query_pool(
+    spec: WorkloadSpec, dimensions: int, rng: np.random.Generator
+) -> List[Query]:
+    """A deterministic rotation of distinct read queries."""
+    pool: List[Query] = [
+        Query.full(spec.dataset, timeout_seconds=spec.timeout_seconds)
+    ]
+    while len(pool) < spec.query_pool:
+        kind = len(pool) % 4
+        if kind == 0 and dimensions > 1:
+            keep = 2 + int(rng.integers(0, max(1, dimensions - 1)))
+            dims = sorted(
+                int(d) for d in
+                rng.choice(dimensions, size=min(keep, dimensions),
+                           replace=False)
+            )
+            pool.append(
+                Query.subspace(
+                    spec.dataset, dims,
+                    timeout_seconds=spec.timeout_seconds,
+                )
+            )
+        elif kind == 1 and dimensions > 2:
+            pool.append(
+                Query.kdominant(
+                    spec.dataset, int(rng.integers(2, dimensions)),
+                    timeout_seconds=spec.timeout_seconds,
+                )
+            )
+        elif kind == 2:
+            pool.append(
+                Query.topk(
+                    spec.dataset, int(rng.integers(1, 8)), method="sum",
+                    timeout_seconds=spec.timeout_seconds,
+                )
+            )
+        else:
+            pool.append(
+                Query.full(spec.dataset, timeout_seconds=spec.timeout_seconds)
+            )
+    return pool[: spec.query_pool]
+
+
+def replay_workload(
+    service: SkylineService, spec: WorkloadSpec
+) -> ReplayReport:
+    """Replay a seeded mixed workload and collect latency statistics.
+
+    Shed (:class:`OverloadedError`) and expired
+    (:class:`DeadlineExceededError`) requests are counted, not raised —
+    under deliberate overload they are the expected outcome.
+    """
+    snapshot = service.registry.snapshot(spec.dataset)
+    d = snapshot.dimensions
+    cells = snapshot.codec.cells_per_dim
+    rng = np.random.default_rng(spec.seed)
+    pool = _build_query_pool(spec, d, rng)
+    next_id = int(snapshot.ids.max()) + 1 if snapshot.ids.size else 0
+
+    report = ReplayReport()
+    started = perf_counter()
+    for op in range(spec.operations):
+        report.operations += 1
+        if rng.random() < spec.read_fraction:
+            query = pool[int(rng.integers(0, len(pool)))]
+            began = perf_counter()
+            try:
+                result = service.query(query)
+            except OverloadedError:
+                report.shed += 1
+                continue
+            except DeadlineExceededError:
+                report.expired += 1
+                continue
+            report.reads += 1
+            report.read_latencies.append(perf_counter() - began)
+            report.queue_waits.append(result.queue_wait_seconds)
+            if result.cached:
+                report.cache_hits += 1
+        else:
+            current = service.registry.snapshot(spec.dataset)
+            if op % 2 == 0 or current.size <= spec.batch_size:
+                points = rng.integers(
+                    0, cells, size=(spec.batch_size, d)
+                ).astype(np.float64)
+                ids = np.arange(
+                    next_id, next_id + spec.batch_size, dtype=np.int64
+                )
+                next_id += spec.batch_size
+                mutation = Mutation.insert(
+                    spec.dataset, points, ids,
+                    timeout_seconds=spec.timeout_seconds,
+                )
+            else:
+                take = min(spec.batch_size, current.size - 1)
+                doomed = rng.choice(current.ids, size=take, replace=False)
+                mutation = Mutation.delete(
+                    spec.dataset, doomed,
+                    timeout_seconds=spec.timeout_seconds,
+                )
+            began = perf_counter()
+            try:
+                result = service.mutate(mutation)
+            except OverloadedError:
+                report.shed += 1
+                continue
+            except DeadlineExceededError:
+                report.expired += 1
+                continue
+            report.writes += 1
+            report.write_latencies.append(perf_counter() - began)
+            report.queue_waits.append(result.queue_wait_seconds)
+    report.elapsed_seconds = perf_counter() - started
+    final = service.registry.snapshot(spec.dataset)
+    report.final_version = final.version
+    report.final_skyline_size = final.skyline_size
+    return report

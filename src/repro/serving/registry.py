@@ -1,0 +1,417 @@
+"""The :class:`DatasetRegistry`: named datasets as versioned snapshots.
+
+The registry is the serving layer's write path.  Each registered
+dataset has
+
+* a live :class:`~repro.maintenance.maintainer.SkylineMaintainer`
+  (the incremental index — inserts are Z-merge folds, deletes
+  re-promote shadowed points), owned exclusively by the writer;
+* a current immutable :class:`~repro.serving.snapshot.Snapshot`,
+  republished atomically after every mutation batch (readers never
+  block writers; a reader holding version N keeps reading version N);
+* a :class:`DriftPolicy` bounding how much incremental delete churn is
+  tolerated before the skyline is recomputed from scratch with the
+  full pipeline (:func:`repro.pipeline.supervisor.supervised_run`), so
+  incremental error can never compound silently.
+
+The drift rebuild feeds the alive set back through the paper's
+three-phase engine and adopts only the returned skyline *ids* — the
+registry's own grid points are kept, so a rebuild changes no stored
+coordinates.  (The pipeline re-quantises onto its own grid, but for
+integer grid input with matching ``bits_per_dim`` that mapping is
+strictly monotone per dimension, hence dominance-isomorphic, hence the
+id set is exact.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError, DatasetError
+from repro.maintenance.maintainer import SkylineMaintainer
+from repro.observability.metrics import MetricsRegistry
+from repro.serving.snapshot import Snapshot
+from repro.zorder.encoding import ZGridCodec, quantize_dataset
+from repro.zorder.zbtree import build_zbtree
+from repro.zorder.zsearch import zsearch
+
+#: metrics group for registry-level events
+SERVING_GROUP = "serving"
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """When does accumulated delete churn force a full rebuild?
+
+    Each delete of an existing point counts toward the drift budget;
+    the budget resets on every full rebuild.  Either bound may be
+    ``None`` (unbounded); with both ``None`` the policy is pure
+    incremental maintenance (:meth:`never`).
+    """
+
+    #: absolute number of deleted records tolerated since last rebuild
+    max_deletes: Optional[int] = None
+    #: deleted records as a fraction of the current alive set size
+    max_delete_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_deletes is not None and self.max_deletes < 0:
+            raise ConfigurationError("max_deletes must be >= 0")
+        if self.max_delete_fraction is not None and not (
+            self.max_delete_fraction >= 0.0
+        ):
+            raise ConfigurationError("max_delete_fraction must be >= 0")
+
+    @classmethod
+    def never(cls) -> "DriftPolicy":
+        """Pure incremental maintenance: no rebuild, ever."""
+        return cls()
+
+    @classmethod
+    def bounded(
+        cls,
+        max_deletes: Optional[int] = None,
+        max_delete_fraction: Optional[float] = 0.25,
+    ) -> "DriftPolicy":
+        """The default serving policy: rebuild once deletes since the
+        last rebuild exceed 25% of the alive set (or an absolute cap)."""
+        return cls(
+            max_deletes=max_deletes,
+            max_delete_fraction=max_delete_fraction,
+        )
+
+    def should_rebuild(self, deletes_since: int, alive: int) -> bool:
+        if self.max_deletes is not None and deletes_since > self.max_deletes:
+            return True
+        if (
+            self.max_delete_fraction is not None
+            and alive > 0
+            and deletes_since > self.max_delete_fraction * alive
+        ):
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class RebuildConfig:
+    """How drift rebuilds run the offline pipeline."""
+
+    #: pipeline plan for the recompute
+    plan: str = "ZHG+ZS"
+    num_workers: int = 4
+    num_groups: int = 16
+    executor: str = "simulated"
+    seed: int = 0
+    #: below this alive-set size the rebuild short-circuits to a direct
+    #: Z-search (the MapReduce pipeline has per-job overhead that only
+    #: pays off at scale)
+    min_pipeline_size: int = 512
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0 or self.num_groups <= 0:
+            raise ConfigurationError(
+                "num_workers and num_groups must be positive"
+            )
+        if self.min_pipeline_size < 0:
+            raise ConfigurationError("min_pipeline_size must be >= 0")
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """Outcome of one mutation batch: the newly published version."""
+
+    dataset: str
+    version: int
+    size: int
+    skyline_size: int
+    #: did this publish include a full drift rebuild?
+    rebuilt: bool = False
+
+
+class _DatasetState:
+    """Writer-side state of one registered dataset."""
+
+    __slots__ = (
+        "name", "codec", "maintainer", "snapshot", "lock",
+        "drift", "rebuild", "deletes_since_rebuild", "history",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        codec: ZGridCodec,
+        maintainer: SkylineMaintainer,
+        drift: DriftPolicy,
+        rebuild: RebuildConfig,
+        keep_versions: int,
+    ) -> None:
+        self.name = name
+        self.codec = codec
+        self.maintainer = maintainer
+        self.snapshot: Optional[Snapshot] = None
+        self.lock = threading.Lock()
+        self.drift = drift
+        self.rebuild = rebuild
+        self.deletes_since_rebuild = 0
+        self.history: Deque[Snapshot] = deque(maxlen=max(1, keep_versions))
+
+
+class DatasetRegistry:
+    """Named, versioned, concurrently readable skyline datasets.
+
+    All mutation goes through :meth:`insert` / :meth:`delete`, which
+    serialise per dataset behind a writer lock and publish a fresh
+    snapshot atomically.  Reads (:meth:`snapshot`) are a single
+    attribute load and never block on writers.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        keep_versions: int = 3,
+    ) -> None:
+        self.metrics = metrics
+        self._keep_versions = keep_versions
+        self._states: Dict[str, _DatasetState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        points: np.ndarray,
+        ids: Optional[np.ndarray] = None,
+        codec: Optional[ZGridCodec] = None,
+        drift: Optional[DriftPolicy] = None,
+        rebuild: Optional[RebuildConfig] = None,
+    ) -> PublishResult:
+        """Register grid-resident points as version 1 of ``name``.
+
+        ``points`` must already hold integer grid coordinates for
+        ``codec`` (like everywhere else in the z-order stack); use
+        :meth:`register_dataset` for raw float data.  The initial
+        skyline is computed with the same machinery drift rebuilds use.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise DatasetError("need a non-empty (n, d) point matrix")
+        n, d = points.shape
+        if ids is None:
+            ids = np.arange(n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,) or len(np.unique(ids)) != n:
+                raise DatasetError("ids must be unique, one per point")
+        if codec is None:
+            top = int(points.max()) if points.size else 1
+            bits = max(1, top.bit_length())
+            codec = ZGridCodec.grid_identity(d, bits_per_dim=bits)
+        if codec.dimensions != d:
+            raise DatasetError(
+                f"codec is {codec.dimensions}-D but points are {d}-D"
+            )
+        if not (
+            np.all(points == np.floor(points))
+            and points.min() >= 0
+            and points.max() < codec.cells_per_dim
+        ):
+            raise DatasetError(
+                "points must be integer grid coordinates in "
+                f"[0, {codec.cells_per_dim}) — quantise first "
+                "(see register_dataset)"
+            )
+        state = _DatasetState(
+            name,
+            codec,
+            SkylineMaintainer(codec, metrics=self.metrics),
+            drift or DriftPolicy.bounded(),
+            rebuild or RebuildConfig(),
+            self._keep_versions,
+        )
+        # Build the whole version-1 state before the name becomes
+        # visible, so a reader can never observe a half-registered
+        # dataset.
+        sky_ids = self._compute_skyline_ids(state, points, ids)
+        state.maintainer = SkylineMaintainer.from_state(
+            codec, points, ids, sky_ids, metrics=self.metrics
+        )
+        result = self._publish(state, rebuilt=False)
+        with self._lock:
+            if name in self._states:
+                raise ConfigurationError(
+                    f"dataset {name!r} is already registered"
+                )
+            self._states[name] = state
+        return result
+
+    def register_dataset(
+        self,
+        name: str,
+        dataset: Dataset,
+        bits_per_dim: int = 12,
+        drift: Optional[DriftPolicy] = None,
+        rebuild: Optional[RebuildConfig] = None,
+    ) -> PublishResult:
+        """Quantise a raw float dataset and register the grid version."""
+        snapped, codec = quantize_dataset(dataset, bits_per_dim=bits_per_dim)
+        return self.register(
+            name,
+            snapped.points,
+            ids=snapped.ids,
+            codec=codec,
+            drift=drift,
+            rebuild=rebuild,
+        )
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._states)
+
+    def _state(self, name: str) -> _DatasetState:
+        with self._lock:
+            state = self._states.get(name)
+        if state is None:
+            raise DatasetError(f"dataset {name!r} is not registered")
+        return state
+
+    def snapshot(self, name: str) -> Snapshot:
+        """The current snapshot (an atomic attribute read; never blocks
+        on writers)."""
+        snapshot = self._state(name).snapshot
+        assert snapshot is not None  # set before registration returns
+        return snapshot
+
+    def snapshot_at(self, name: str, version: int) -> Snapshot:
+        """A recent retained version (the retention ring is small; old
+        versions a reader still references remain valid regardless)."""
+        state = self._state(name)
+        with state.lock:
+            for snap in state.history:
+                if snap.version == version:
+                    return snap
+        raise DatasetError(
+            f"version {version} of {name!r} is no longer retained"
+        )
+
+    def version(self, name: str) -> int:
+        return self.snapshot(name).version
+
+    def is_skyline_member(self, name: str, point_id: int) -> bool:
+        """Live skyline membership (the maintainer's cached id-set)."""
+        state = self._state(name)
+        with state.lock:
+            return state.maintainer.is_skyline_member(point_id)
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def insert(
+        self, name: str, points: np.ndarray, ids: Sequence[int]
+    ) -> PublishResult:
+        """Insert a batch and publish the next version."""
+        state = self._state(name)
+        points = np.asarray(points, dtype=np.float64)
+        with state.lock:
+            state.maintainer.insert_block(
+                points, np.asarray(ids, dtype=np.int64)
+            )
+            rebuilt = self._maybe_rebuild(state)
+            return self._publish(state, rebuilt=rebuilt)
+
+    def delete(self, name: str, ids: Sequence[int]) -> PublishResult:
+        """Delete a batch by id and publish the next version."""
+        state = self._state(name)
+        with state.lock:
+            doomed = [int(i) for i in ids]
+            state.maintainer.delete(doomed)
+            state.deletes_since_rebuild += len(doomed)
+            rebuilt = self._maybe_rebuild(state)
+            return self._publish(state, rebuilt=rebuilt)
+
+    # ------------------------------------------------------------------
+    # internals (caller holds state.lock)
+    # ------------------------------------------------------------------
+    def _publish(self, state: _DatasetState, rebuilt: bool) -> PublishResult:
+        previous = state.snapshot
+        version = 1 if previous is None else previous.version + 1
+        points, ids = state.maintainer.alive()
+        sky_points, sky_ids = state.maintainer.skyline()
+        snapshot = Snapshot.build(
+            state.name, version, state.codec,
+            points, ids, sky_points, sky_ids,
+        )
+        state.history.append(snapshot)
+        # The single publication point: readers see old or new, nothing
+        # in between.
+        state.snapshot = snapshot
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, "publishes")
+            if rebuilt:
+                self.metrics.inc(SERVING_GROUP, "drift_rebuilds")
+        return PublishResult(
+            dataset=state.name,
+            version=version,
+            size=snapshot.size,
+            skyline_size=snapshot.skyline_size,
+            rebuilt=rebuilt,
+        )
+
+    def _maybe_rebuild(self, state: _DatasetState) -> bool:
+        if not state.drift.should_rebuild(
+            state.deletes_since_rebuild, state.maintainer.size
+        ):
+            return False
+        points, ids = state.maintainer.alive()
+        if points.shape[0] == 0:
+            state.deletes_since_rebuild = 0
+            return False
+        sky_ids = self._compute_skyline_ids(state, points, ids)
+        state.maintainer = SkylineMaintainer.from_state(
+            state.codec, points, ids, sky_ids, metrics=self.metrics
+        )
+        state.deletes_since_rebuild = 0
+        return True
+
+    def _compute_skyline_ids(
+        self, state: _DatasetState, points: np.ndarray, ids: np.ndarray
+    ) -> np.ndarray:
+        """Exact skyline ids of ``(points, ids)``.
+
+        Large sets go through the full supervised pipeline (the paper's
+        engine, with its partitioning/prefilter machinery); small sets
+        Z-search a freshly built tree directly.
+        """
+        cfg = state.rebuild
+        n = points.shape[0]
+        if n >= cfg.min_pipeline_size:
+            from repro.pipeline.supervisor import supervised_run
+
+            sample_ratio = min(1.0, max(0.05, 256.0 / n))
+            num_groups = max(1, min(cfg.num_groups, n // 32))
+            report = supervised_run(
+                cfg.plan,
+                Dataset(points, ids=ids, name=f"{state.name}[rebuild]"),
+                bits_per_dim=state.codec.bits_per_dim,
+                num_workers=cfg.num_workers,
+                num_groups=num_groups,
+                sample_ratio=sample_ratio,
+                executor=cfg.executor,
+                seed=cfg.seed,
+            )
+            if self.metrics is not None:
+                self.metrics.inc(SERVING_GROUP, "pipeline_rebuilds")
+            return np.asarray(report.skyline.ids, dtype=np.int64)
+        tree = build_zbtree(state.codec, points, ids=ids)
+        _, sky_ids = zsearch(tree)
+        return np.asarray(sky_ids, dtype=np.int64)

@@ -1,0 +1,645 @@
+"""The :class:`SkylineService`: a long-lived, concurrent query engine.
+
+One service instance serves typed queries over the datasets of a
+:class:`~repro.serving.registry.DatasetRegistry`:
+
+* ``full`` — the maintained skyline of the snapshot;
+* ``subspace`` — skyline over a dimension subset
+  (:func:`repro.extensions.subspace.subspace_skyline`);
+* ``kdominant`` — the k-dominant skyline
+  (:func:`repro.extensions.kdominant.k_dominant_skyline`);
+* ``topk`` — ranked/representative top-k over the skyline
+  (:mod:`repro.extensions.ranking`);
+* ``explain`` — why-not explanation for a point or a stored id
+  (:func:`repro.extensions.explain.why_not`), plus the live
+  skyline-membership probe.
+
+Every query executes against the immutable snapshot that is current at
+execution time, so concurrent mutations never tear a result; the
+snapshot's version is recorded on the result and keys the result
+cache.  Requests pass admission control (bounded queues, load
+shedding), run on small per-class worker pools, honour per-query
+deadlines with the same :class:`DeadlineExceededError` contract the
+pipeline supervisor uses, and emit one tracer span each.
+
+Results are **canonical**: set-valued answers (full/subspace/
+kdominant) are sorted by id, so a service answer is bit-comparable to
+an offline recomputation on the same snapshot regardless of internal
+iteration order.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import (
+    ConfigurationError,
+    DatasetError,
+    DeadlineExceededError,
+)
+from repro.extensions.explain import WhyNotExplanation, why_not
+from repro.extensions.kdominant import k_dominant_skyline
+from repro.extensions.ranking import rank_skyline, top_k_skyline
+from repro.extensions.subspace import subspace_skyline
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import NULL_TRACER, Tracer
+from repro.serving.admission import (
+    MUTATE,
+    READ,
+    AdmissionConfig,
+    AdmissionController,
+    Ticket,
+)
+from repro.serving.cache import ResultCache
+from repro.serving.registry import (
+    SERVING_GROUP,
+    DatasetRegistry,
+    PublishResult,
+)
+from repro.serving.snapshot import Snapshot
+
+QUERY_KINDS = ("full", "subspace", "kdominant", "topk", "explain")
+TOPK_METHODS = ("sum", "weighted", "dominance", "representative")
+
+
+# ----------------------------------------------------------------------
+# request types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Query:
+    """One typed read query (immutable; construct via the factories)."""
+
+    kind: str
+    dataset: str
+    dims: Tuple[int, ...] = ()
+    k: int = 0
+    method: str = "sum"
+    weights: Optional[Tuple[float, ...]] = None
+    point: Optional[Tuple[float, ...]] = None
+    point_id: Optional[int] = None
+    timeout_seconds: Optional[float] = None
+
+    # -- factories -----------------------------------------------------
+    @classmethod
+    def full(cls, dataset: str, **kw: Any) -> "Query":
+        return cls(kind="full", dataset=dataset, **kw)
+
+    @classmethod
+    def subspace(
+        cls, dataset: str, dims: Sequence[int], **kw: Any
+    ) -> "Query":
+        return cls(
+            kind="subspace", dataset=dataset,
+            dims=tuple(int(d) for d in dims), **kw,
+        )
+
+    @classmethod
+    def kdominant(cls, dataset: str, k: int, **kw: Any) -> "Query":
+        return cls(kind="kdominant", dataset=dataset, k=int(k), **kw)
+
+    @classmethod
+    def topk(
+        cls,
+        dataset: str,
+        k: int,
+        method: str = "sum",
+        weights: Optional[Sequence[float]] = None,
+        **kw: Any,
+    ) -> "Query":
+        return cls(
+            kind="topk", dataset=dataset, k=int(k), method=method,
+            weights=None if weights is None else tuple(
+                float(w) for w in weights
+            ),
+            **kw,
+        )
+
+    @classmethod
+    def explain(
+        cls,
+        dataset: str,
+        point: Optional[Sequence[float]] = None,
+        point_id: Optional[int] = None,
+        **kw: Any,
+    ) -> "Query":
+        return cls(
+            kind="explain", dataset=dataset,
+            point=None if point is None else tuple(float(v) for v in point),
+            point_id=None if point_id is None else int(point_id),
+            **kw,
+        )
+
+    # -- validation / identity -----------------------------------------
+    def validate(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ConfigurationError(f"unknown query kind {self.kind!r}")
+        if self.kind == "subspace" and not self.dims:
+            raise ConfigurationError("subspace query needs dims")
+        if self.kind in ("kdominant", "topk") and self.k <= 0:
+            raise ConfigurationError(f"{self.kind} query needs k >= 1")
+        if self.kind == "topk":
+            if self.method not in TOPK_METHODS:
+                raise ConfigurationError(
+                    f"topk method must be one of {TOPK_METHODS}; "
+                    f"got {self.method!r}"
+                )
+            if self.method == "weighted" and self.weights is None:
+                raise ConfigurationError("weighted topk needs weights")
+        if self.kind == "explain" and (
+            (self.point is None) == (self.point_id is None)
+        ):
+            raise ConfigurationError(
+                "explain query needs exactly one of point / point_id"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError("timeout_seconds must be positive")
+
+    def fingerprint(self) -> str:
+        """Canonical identity of the query *computation* (excludes the
+        deadline, which affects scheduling but never the answer)."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == "subspace":
+            payload["dims"] = sorted(self.dims)
+        elif self.kind == "kdominant":
+            payload["k"] = self.k
+        elif self.kind == "topk":
+            payload["k"] = self.k
+            payload["method"] = self.method
+            if self.weights is not None:
+                payload["weights"] = [repr(w) for w in self.weights]
+        elif self.kind == "explain":
+            if self.point is not None:
+                payload["point"] = [repr(v) for v in self.point]
+            else:
+                payload["point_id"] = self.point_id
+        return json.dumps(payload, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One write batch (insert or delete)."""
+
+    kind: str  # "insert" | "delete"
+    dataset: str
+    points: Optional[np.ndarray] = None
+    ids: Optional[np.ndarray] = None
+    timeout_seconds: Optional[float] = None
+
+    @classmethod
+    def insert(
+        cls,
+        dataset: str,
+        points: np.ndarray,
+        ids: Sequence[int],
+        **kw: Any,
+    ) -> "Mutation":
+        return cls(
+            kind="insert", dataset=dataset,
+            points=np.asarray(points, dtype=np.float64),
+            ids=np.asarray(ids, dtype=np.int64), **kw,
+        )
+
+    @classmethod
+    def delete(cls, dataset: str, ids: Sequence[int], **kw: Any) -> "Mutation":
+        return cls(
+            kind="delete", dataset=dataset,
+            ids=np.asarray(ids, dtype=np.int64), **kw,
+        )
+
+    def validate(self) -> None:
+        if self.kind not in ("insert", "delete"):
+            raise ConfigurationError(f"unknown mutation kind {self.kind!r}")
+        if self.ids is None:
+            raise ConfigurationError("mutation needs ids")
+        if self.kind == "insert" and self.points is None:
+            raise ConfigurationError("insert needs points")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError("timeout_seconds must be positive")
+
+
+# ----------------------------------------------------------------------
+# result types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer + provenance of one read query."""
+
+    kind: str
+    dataset: str
+    #: snapshot version the answer was computed on
+    version: int
+    points: np.ndarray
+    ids: np.ndarray
+    scores: Optional[np.ndarray] = None
+    explanation: Optional[WhyNotExplanation] = None
+    #: live (current-version) skyline membership for explain-by-id;
+    #: deliberately *not* part of the cached payload
+    live_member: Optional[bool] = None
+    cached: bool = False
+    queue_wait_seconds: float = 0.0
+    service_seconds: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.shape[0])
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """Outcome of one write batch: the published version."""
+
+    publish: PublishResult
+    queue_wait_seconds: float = 0.0
+    service_seconds: float = 0.0
+
+    @property
+    def version(self) -> int:
+        return self.publish.version
+
+
+@dataclass(frozen=True)
+class _Payload:
+    """The cacheable core of a read answer (snapshot-deterministic)."""
+
+    points: np.ndarray
+    ids: np.ndarray
+    scores: Optional[np.ndarray] = None
+    explanation: Optional[WhyNotExplanation] = None
+
+
+@dataclass
+class _Request:
+    """Internal queue item."""
+
+    future: Future
+    ticket: Ticket
+    query: Optional[Query] = None
+    mutation: Optional[Mutation] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs."""
+
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: result-cache capacity; 0 disables caching
+    cache_entries: int = 512
+
+    def __post_init__(self) -> None:
+        if self.cache_entries < 0:
+            raise ConfigurationError("cache_entries must be >= 0")
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+class SkylineService:
+    """Bounded worker pools serving typed skyline queries.
+
+    Use as a context manager (``with SkylineService(registry) as svc:``)
+    or call :meth:`close` explicitly; workers are daemon threads either
+    way.
+    """
+
+    def __init__(
+        self,
+        registry: DatasetRegistry,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.admission = AdmissionController(
+            self.config.admission, metrics=metrics
+        )
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache_entries, metrics=metrics)
+            if self.config.cache_entries
+            else None
+        )
+        self._queues: Dict[str, "queue.Queue[Optional[_Request]]"] = {
+            READ: queue.Queue(),
+            MUTATE: queue.Queue(),
+        }
+        self._workers: list = []
+        self._closed = False
+        for klass in (READ, MUTATE):
+            for i in range(self.config.admission.concurrency(klass)):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    args=(klass,),
+                    name=f"skyline-{klass}-{i}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append((klass, worker))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def submit(self, request) -> Future:
+        """Admit a :class:`Query` or :class:`Mutation`; returns a
+        Future resolving to :class:`QueryResult` /
+        :class:`MutationResult`.
+
+        Raises synchronously on invalid requests
+        (:class:`ConfigurationError`), unknown datasets
+        (:class:`DatasetError`), and shed requests
+        (:class:`~repro.core.exceptions.OverloadedError`).
+        """
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        request.validate()
+        # Fail fast on unknown datasets (before burning a queue slot).
+        self.registry.snapshot(request.dataset)
+        klass = READ if isinstance(request, Query) else MUTATE
+        ticket = self.admission.admit(klass, request.timeout_seconds)
+        future: Future = Future()
+        item = _Request(future=future, ticket=ticket)
+        if klass == READ:
+            item.query = request
+        else:
+            item.mutation = request
+        self._queues[klass].put(item)
+        return future
+
+    def query(
+        self, request: Query, timeout: Optional[float] = None
+    ) -> QueryResult:
+        """Submit a read and wait for its answer."""
+        return self.submit(request).result(timeout=timeout)
+
+    def mutate(
+        self, request: Mutation, timeout: Optional[float] = None
+    ) -> MutationResult:
+        """Submit a write batch and wait for the published version."""
+        return self.submit(request).result(timeout=timeout)
+
+    def close(self) -> None:
+        """Drain workers and stop accepting requests (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for klass, _worker in self._workers:
+            self._queues[klass].put(None)
+        for _klass, worker in self._workers:
+            worker.join(timeout=5.0)
+
+    def __enter__(self) -> "SkylineService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self, klass: str) -> None:
+        q = self._queues[klass]
+        while True:
+            item = q.get()
+            if item is None:
+                return
+            self._handle(item)
+
+    def _handle(self, item: _Request) -> None:
+        ticket = item.ticket
+        if ticket.expired():
+            self.admission.expire(ticket)
+            item.future.set_exception(
+                DeadlineExceededError(
+                    f"{ticket.klass} request deadline passed after "
+                    f"{monotonic() - ticket.admitted_at:.3f}s in queue"
+                )
+            )
+            return
+        self.admission.started(ticket)
+        if not item.future.set_running_or_notify_cancel():
+            self.admission.finished(ticket, ok=False)
+            return
+        ok = True
+        try:
+            if item.query is not None:
+                result = self._execute_query(item.query, ticket)
+            else:
+                result = self._execute_mutation(item.mutation, ticket)
+        except BaseException as exc:  # noqa: BLE001 — routed to caller
+            ok = False
+            self.admission.finished(ticket, ok=False)
+            item.future.set_exception(exc)
+            return
+        if ok:
+            self.admission.finished(ticket, ok=True)
+            item.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _execute_query(self, query: Query, ticket: Ticket) -> QueryResult:
+        snapshot = self.registry.snapshot(query.dataset)
+        span = self.tracer.start_span(
+            "serving.query",
+            kind=query.kind,
+            dataset=query.dataset,
+            version=snapshot.version,
+        )
+        try:
+            payload, cached = self._payload_for(query, snapshot)
+            live_member: Optional[bool] = None
+            if query.kind == "explain" and query.point_id is not None:
+                # Live membership probe (O(1) against the maintainer's
+                # cached id-set); computed per request, never cached —
+                # it describes the *current* version, not the snapshot.
+                try:
+                    live_member = self.registry.is_skyline_member(
+                        query.dataset, query.point_id
+                    )
+                except DatasetError:
+                    live_member = False
+            span.update(cached=cached, rows=int(payload.ids.shape[0]))
+            return QueryResult(
+                kind=query.kind,
+                dataset=query.dataset,
+                version=snapshot.version,
+                points=payload.points,
+                ids=payload.ids,
+                scores=payload.scores,
+                explanation=payload.explanation,
+                live_member=live_member,
+                cached=cached,
+                queue_wait_seconds=ticket.queue_wait_seconds,
+                service_seconds=monotonic() - (ticket.started_at or 0.0),
+            )
+        finally:
+            span.finish()
+
+    def _payload_for(
+        self, query: Query, snapshot: Snapshot
+    ) -> Tuple[_Payload, bool]:
+        key = None
+        if self.cache is not None:
+            key = ResultCache.make_key(
+                snapshot.dataset, snapshot.version, query.fingerprint()
+            )
+            hit, value = self.cache.lookup(key)
+            if hit:
+                return value, True
+        payload = _EXECUTORS[query.kind](query, snapshot)
+        if self.cache is not None and key is not None:
+            self.cache.store(key, payload)
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, f"queries_{query.kind}")
+        return payload, False
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _execute_mutation(
+        self, mutation: Mutation, ticket: Ticket
+    ) -> MutationResult:
+        span = self.tracer.start_span(
+            "serving.mutation",
+            kind=mutation.kind,
+            dataset=mutation.dataset,
+        )
+        try:
+            if mutation.kind == "insert":
+                publish = self.registry.insert(
+                    mutation.dataset, mutation.points, mutation.ids
+                )
+            else:
+                publish = self.registry.delete(
+                    mutation.dataset, mutation.ids
+                )
+            span.update(
+                version=publish.version,
+                skyline=publish.skyline_size,
+                rebuilt=publish.rebuilt,
+            )
+            return MutationResult(
+                publish=publish,
+                queue_wait_seconds=ticket.queue_wait_seconds,
+                service_seconds=monotonic() - (ticket.started_at or 0.0),
+            )
+        finally:
+            span.finish()
+
+
+# ----------------------------------------------------------------------
+# query executors (pure functions of the snapshot — cache-safe)
+# ----------------------------------------------------------------------
+def _by_id(
+    points: np.ndarray, ids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical order: ascending id (bit-stable across access paths)."""
+    order = np.argsort(ids, kind="stable")
+    pts = points[order].copy()
+    out_ids = ids[order].copy()
+    pts.setflags(write=False)
+    out_ids.setflags(write=False)
+    return pts, out_ids
+
+
+def _exec_full(query: Query, snapshot: Snapshot) -> _Payload:
+    points, ids = _by_id(snapshot.sky_points, snapshot.sky_ids)
+    return _Payload(points=points, ids=ids)
+
+
+def _exec_subspace(query: Query, snapshot: Snapshot) -> _Payload:
+    if snapshot.size == 0:
+        return _exec_full(query, snapshot)
+    points, ids = subspace_skyline(
+        snapshot.points, list(query.dims), ids=snapshot.ids
+    )
+    points, ids = _by_id(points, ids)
+    return _Payload(points=points, ids=ids)
+
+
+def _exec_kdominant(query: Query, snapshot: Snapshot) -> _Payload:
+    if snapshot.size == 0:
+        return _exec_full(query, snapshot)
+    points, ids = k_dominant_skyline(
+        snapshot.points, query.k, ids=snapshot.ids
+    )
+    points, ids = _by_id(points, ids)
+    return _Payload(points=points, ids=ids)
+
+
+def _exec_topk(query: Query, snapshot: Snapshot) -> _Payload:
+    # Rank over the snapshot skyline, fed in canonical id order so ties
+    # break identically however the skyline was obtained.
+    sky_points, sky_ids = _by_id(snapshot.sky_points, snapshot.sky_ids)
+    if sky_ids.shape[0] == 0:
+        return _Payload(points=sky_points, ids=sky_ids)
+    if query.method == "representative":
+        points, ids = top_k_skyline(
+            sky_points, sky_ids, snapshot.points, query.k
+        )
+        scores = None
+    else:
+        points, ids, scores = rank_skyline(
+            sky_points,
+            sky_ids,
+            dataset_points=(
+                snapshot.points if query.method == "dominance" else None
+            ),
+            method=query.method,
+            weights=query.weights,
+        )
+        points = points[: query.k]
+        ids = ids[: query.k]
+        scores = scores[: query.k].copy()
+        scores.setflags(write=False)
+    points = points.copy()
+    ids = ids.copy()
+    points.setflags(write=False)
+    ids.setflags(write=False)
+    return _Payload(points=points, ids=ids, scores=scores)
+
+
+def _exec_explain(query: Query, snapshot: Snapshot) -> _Payload:
+    if query.point_id is not None:
+        point = snapshot.point_of(query.point_id)
+    else:
+        point = np.asarray(query.point, dtype=np.float64)
+        if point.shape != (snapshot.dimensions,):
+            raise DatasetError(
+                f"explain point must be {snapshot.dimensions}-D"
+            )
+    explanation = why_not(point, snapshot.points, snapshot.ids)
+    # Canonicalise dominator order by id so cached and fresh answers
+    # are bit-identical however the snapshot was assembled.
+    dom_points, dom_ids = _by_id(
+        explanation.dominator_points, explanation.dominator_ids
+    )
+    explanation = WhyNotExplanation(
+        point=explanation.point,
+        is_skyline_member=explanation.is_skyline_member,
+        dominator_points=dom_points,
+        dominator_ids=dom_ids,
+        single_dimension_fixes=dict(explanation.single_dimension_fixes),
+    )
+    return _Payload(
+        points=dom_points, ids=dom_ids, explanation=explanation
+    )
+
+
+_EXECUTORS = {
+    "full": _exec_full,
+    "subspace": _exec_subspace,
+    "kdominant": _exec_kdominant,
+    "topk": _exec_topk,
+    "explain": _exec_explain,
+}

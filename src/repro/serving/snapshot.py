@@ -1,0 +1,136 @@
+"""Immutable, versioned dataset snapshots.
+
+A :class:`Snapshot` is the unit of isolation in the serving layer: one
+monotonically versioned, *frozen* view of a named dataset — its alive
+points and ids, the grid codec, the current skyline (as arrays and as a
+prebuilt ZB-tree for index-backed access paths).  Readers that hold a
+snapshot keep reading version N no matter how many versions the writer
+publishes after them; nothing in a snapshot is ever mutated (all numpy
+arrays are write-protected, and the skyline tree is built privately for
+the snapshot rather than shared with the writer's live maintainer).
+
+Snapshots are plain Python objects: "releasing" an old version is
+dropping the last reference to it.  The registry additionally keeps a
+small retention ring of recent versions for time-travel reads (see
+:class:`~repro.serving.registry.DatasetRegistry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.zorder.encoding import ZGridCodec
+from repro.zorder.zbtree import ZBTree, build_zbtree
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """A write-protected copy of ``array``."""
+    out = np.array(array, copy=True)
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable version of a served dataset.
+
+    ``points``/``ids`` are the alive set; ``sky_points``/``sky_ids``
+    the skyline of exactly that set, also available as ``sky_tree``
+    (a ZB-tree private to this snapshot, safe for concurrent reads).
+    """
+
+    dataset: str
+    version: int
+    points: np.ndarray
+    ids: np.ndarray
+    codec: ZGridCodec
+    sky_points: np.ndarray
+    sky_ids: np.ndarray
+    sky_tree: ZBTree
+    #: lazy id -> row-index map (built on first explain-by-id lookup)
+    _row_index: Dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @classmethod
+    def build(
+        cls,
+        dataset: str,
+        version: int,
+        codec: ZGridCodec,
+        points: np.ndarray,
+        ids: np.ndarray,
+        sky_points: np.ndarray,
+        sky_ids: np.ndarray,
+    ) -> "Snapshot":
+        """Freeze the given state into a snapshot.
+
+        Arrays are copied and write-protected; the skyline tree is
+        rebuilt from the (copied) skyline arrays so the writer's live
+        index structure is never shared with readers.
+        """
+        points = _frozen(np.asarray(points, dtype=np.float64))
+        ids = _frozen(np.asarray(ids, dtype=np.int64))
+        sky_points = _frozen(np.asarray(sky_points, dtype=np.float64))
+        sky_ids = _frozen(np.asarray(sky_ids, dtype=np.int64))
+        if points.ndim != 2 or ids.shape != (points.shape[0],):
+            raise DatasetError("need (n, d) points and matching ids")
+        if sky_points.ndim != 2 or sky_ids.shape != (sky_points.shape[0],):
+            raise DatasetError("need (m, d) skyline points and matching ids")
+        tree = build_zbtree(codec, sky_points, ids=sky_ids)
+        return cls(
+            dataset=dataset,
+            version=version,
+            codec=codec,
+            points=points,
+            ids=ids,
+            sky_points=sky_points,
+            sky_ids=sky_ids,
+            sky_tree=tree,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of alive points in this version."""
+        return int(self.points.shape[0])
+
+    @property
+    def dimensions(self) -> int:
+        return int(self.codec.dimensions)
+
+    @property
+    def skyline_size(self) -> int:
+        return int(self.sky_points.shape[0])
+
+    def row_of(self, point_id: int) -> Optional[int]:
+        """Row index of ``point_id`` in this version (None if absent).
+
+        The id map is built lazily on first use and cached on the
+        snapshot; building it is safe under concurrency because the
+        finished dict is published with a single attribute write.
+        """
+        if not self._row_index and self.ids.size:
+            index = {int(pid): row for row, pid in enumerate(self.ids)}
+            self._row_index.update(index)
+        return self._row_index.get(int(point_id))
+
+    def point_of(self, point_id: int) -> np.ndarray:
+        """The stored point for an id; raises if not alive here."""
+        row = self.row_of(point_id)
+        if row is None:
+            raise DatasetError(
+                f"point id {point_id} is not alive in "
+                f"{self.dataset!r}@v{self.version}"
+            )
+        return self.points[row]
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot({self.dataset!r}@v{self.version}, n={self.size}, "
+            f"d={self.dimensions}, skyline={self.skyline_size})"
+        )

@@ -145,3 +145,101 @@ class TestRandomizedStream:
                 next_id += n
             m.verify()
         assert m.size == len(alive)
+
+
+class TestSkylineIdCache:
+    """The cached skyline id-set (membership must not rebuild a set
+    per call, and must invalidate on every mutation)."""
+
+    def test_id_set_is_cached_between_reads(self, codec):
+        rng = np.random.default_rng(11)
+        m, _ = fresh(codec, rng, n=40)
+        first = m.skyline_id_set()
+        assert m.skyline_id_set() is first  # same frozen object, no rebuild
+
+    def test_insert_invalidates_cache(self, codec):
+        rng = np.random.default_rng(12)
+        m, _ = fresh(codec, rng, n=40)
+        before = m.skyline_id_set()
+        m.insert([0.0, 0.0, 0.0], 999)  # dominates everything
+        after = m.skyline_id_set()
+        assert after is not before
+        assert after == frozenset({999})
+        assert m.is_skyline_member(999)
+
+    def test_delete_invalidates_cache_even_on_error(self, codec):
+        m = SkylineMaintainer(codec)
+        m.insert([1.0, 1.0, 1.0], 0)
+        before = m.skyline_id_set()
+        with pytest.raises(DatasetError):
+            m.delete([5])
+        # Failed validation must not poison the cache with stale state.
+        assert m.skyline_id_set() == before
+        m.delete([0])
+        assert m.skyline_id_set() == frozenset()
+
+    def test_membership_matches_skyline_arrays(self, codec):
+        rng = np.random.default_rng(13)
+        m, _ = fresh(codec, rng, n=50)
+        m.delete(list(range(10)))
+        _, sky_ids = m.skyline()
+        expected = frozenset(int(i) for i in sky_ids)
+        assert m.skyline_id_set() == expected
+        for pid in range(10, 50):
+            assert m.is_skyline_member(pid) == (pid in expected)
+
+
+class TestMaintainerMetrics:
+    def test_op_counters_flow_into_registry(self, codec):
+        from repro.observability.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        m = SkylineMaintainer(codec, metrics=metrics)
+        rng = np.random.default_rng(14)
+        pts = rng.integers(0, 32, (30, 3)).astype(float)
+        m.insert_block(pts, np.arange(30))
+        m.insert([0.0, 0.0, 1.0], 100)
+        m.delete([100, 0, 1])
+        assert metrics.counter("maintenance", "inserts") == 2
+        assert metrics.counter("maintenance", "insert_records") == 31
+        assert metrics.counter("maintenance", "deletes") == 1
+        assert metrics.counter("maintenance", "delete_records") == 3
+        # Dominance work was attributed to the ops that caused it.
+        assert metrics.counter("maintenance", "point_tests") > 0
+        timers = metrics.timers_as_dict()
+        assert timers["maintenance.insert_seconds"]["calls"] == 2
+        assert timers["maintenance.delete_seconds"]["calls"] == 1
+
+    def test_metrics_are_optional(self, codec):
+        m = SkylineMaintainer(codec)  # no registry: must not blow up
+        m.insert([1.0, 2.0, 3.0], 0)
+        m.delete([0])
+
+
+class TestFromState:
+    def test_adopts_state_without_recompute(self, codec):
+        rng = np.random.default_rng(15)
+        m, pts = fresh(codec, rng, n=45)
+        points, ids = m.alive()
+        _, sky_ids = m.skyline()
+        clone = SkylineMaintainer.from_state(codec, points, ids, sky_ids)
+        assert clone.size == m.size
+        assert clone.skyline_id_set() == m.skyline_id_set()
+        clone.verify()
+
+    def test_rejects_unknown_skyline_ids(self, codec):
+        rng = np.random.default_rng(16)
+        m, _ = fresh(codec, rng, n=10)
+        points, ids = m.alive()
+        with pytest.raises(DatasetError):
+            SkylineMaintainer.from_state(
+                codec, points, ids, np.array([12345], dtype=np.int64)
+            )
+
+    def test_alive_roundtrip(self, codec):
+        rng = np.random.default_rng(17)
+        m, pts = fresh(codec, rng, n=20)
+        m.delete([3, 4])
+        points, ids = m.alive()
+        assert points.shape[0] == ids.shape[0] == 18
+        assert 3 not in set(ids.tolist())
