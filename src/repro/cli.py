@@ -195,6 +195,24 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS", help="per-request deadline")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="seeded chaos injection, e.g. "
+             "'seed=7,worker=0.05,writer=0.1,cache=0.1,delay=0.05' "
+             "(keys: seed, worker, writer, cache, delay, delaysec, "
+             "requeues)",
+    )
+    serve.add_argument(
+        "--durability-dir", default=None, metavar="DIR",
+        help="WAL + checkpoint directory (enables crash recovery; "
+             "defaults to a temp dir when --faults injects writer "
+             "crashes)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per operation (1 = no retries); retryable "
+             "failures back off with seeded deterministic jitter",
+    )
+    serve.add_argument(
         "--trace-out", default=None, metavar="FILE",
         help="export per-request span trace as JSONL",
     )
@@ -423,6 +441,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
     from repro.observability.metrics import MetricsRegistry
     from repro.observability.tracer import NULL_TRACER, Tracer
     from repro.serving import (
@@ -430,6 +450,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         DatasetRegistry,
         DriftPolicy,
         ServiceConfig,
+        ServingFaultPlan,
         SkylineService,
         WorkloadSpec,
         replay_workload,
@@ -442,8 +463,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     metrics = MetricsRegistry()
     tracer = Tracer() if args.trace_out else NULL_TRACER
-    registry = DatasetRegistry(metrics=metrics)
+    scratch: Optional[tempfile.TemporaryDirectory] = None
     try:
+        plan = (
+            ServingFaultPlan.parse(args.faults)
+            if args.faults is not None
+            else None
+        )
+        durability_dir = args.durability_dir
+        if (
+            durability_dir is None
+            and plan is not None
+            and plan.writer_crash_rate > 0
+        ):
+            # Injected writer crashes need a durable home to recover
+            # from; keep the artefacts out of the caller's cwd.
+            scratch = tempfile.TemporaryDirectory(prefix="repro-wal-")
+            durability_dir = scratch.name
+        registry = DatasetRegistry(
+            metrics=metrics,
+            durability_dir=durability_dir,
+            fault_plan=plan,
+        )
         registry.register_dataset(
             "bench",
             dataset,
@@ -453,6 +494,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         config = ServiceConfig(
             admission=AdmissionConfig(read_concurrency=args.workers),
             cache_entries=args.cache_size,
+            fault_plan=plan,
         )
         spec = WorkloadSpec(
             dataset="bench",
@@ -462,15 +504,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             seed=args.seed,
             timeout_seconds=args.timeout,
+            retry_attempts=args.retries,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    with SkylineService(
-        registry, config=config, metrics=metrics, tracer=tracer
-    ) as service:
-        report = replay_workload(service, spec)
-        stats = service.admission.stats()
+    if plan is not None:
+        print(f"faults    : {plan.describe()}")
+    try:
+        with SkylineService(
+            registry, config=config, metrics=metrics, tracer=tracer
+        ) as service:
+            report = replay_workload(service, spec)
+            stats = service.admission.stats()
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
     print(f"dataset   : {dataset.name}")
     summary = report.summary()
     for key in (
@@ -479,6 +528,27 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     ):
         print(f"{key:20s}: {summary[key]}")
     print(f"{'cache_hit_rate':20s}: {summary['cache_hit_rate']:.3f}")
+    if plan is not None or args.retries > 1:
+        print(f"{'availability':20s}: {report.availability:.4f}")
+        print(f"{'retries':20s}: {report.retries}")
+        print(
+            f"{'degraded':20s}: stale={report.degraded_stale} "
+            f"partial={report.degraded_partial}"
+        )
+        if report.failures:
+            parts = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(report.failures.items())
+            )
+            print(f"{'failures':20s}: {parts}")
+        for counter in (
+            "worker_crashes", "worker_respawns", "requeued",
+            "writer_crashes", "writer_auto_recoveries",
+            "cache_corruption_detected",
+        ):
+            value = metrics.counter("serving", counter)
+            if value:
+                print(f"{counter:20s}: {value}")
     print(f"{'elapsed_seconds':20s}: {report.elapsed_seconds:.3f}")
     print(f"{'throughput_ops/s':20s}: {report.throughput:.1f}")
     for which in ("read", "write"):

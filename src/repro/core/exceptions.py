@@ -3,7 +3,14 @@
 All library-raised errors derive from :class:`ReproError` so callers can
 catch one base class at an API boundary while tests can assert on specific
 subclasses.
+
+Serving-layer errors additionally carry **structured context** (queue
+depth, wait so far, a suggested ``retry_after_seconds``) so retry
+policies and circuit breakers can act on typed data instead of parsing
+message strings.  Every such error answers :func:`is_retryable`.
 """
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -37,6 +44,11 @@ class FaultInjectionError(MapReduceError):
 class ServingError(ReproError):
     """Base class for errors raised by the query-serving layer."""
 
+    #: does retrying (after backoff) have a chance of succeeding?
+    retryable: bool = False
+    #: suggested wait before retrying, when the server can estimate one
+    retry_after_seconds: Optional[float] = None
+
 
 class OverloadedError(ServingError):
     """Raised when admission control sheds a request.
@@ -44,7 +56,26 @@ class OverloadedError(ServingError):
     The bounded request queue for the request's class (read or mutate)
     is full; the caller should back off and retry.  Carries no partial
     result — the request was never admitted.
+
+    Structured context: ``queue_depth`` / ``queue_limit`` (the state
+    that triggered the shed) and ``retry_after_seconds`` (the
+    controller's drain-time estimate from its service-time EWMA).
     """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        queue_depth: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+        self.retry_after_seconds = retry_after_seconds
 
 
 class DeadlineExceededError(MapReduceError):
@@ -53,4 +84,116 @@ class DeadlineExceededError(MapReduceError):
     The supervisor raises it cleanly at stage boundaries; in lenient
     (degraded-ok) runs the reduce phase converts it into lost keys
     instead so the run can still return a partial answer.
+
+    When raised by the serving layer it carries structured context:
+    how long the request waited in queue (``queue_wait_seconds``), the
+    queue depth at expiry, and a suggested ``retry_after_seconds``.
     """
+
+    #: a fresh attempt with a fresh deadline may succeed
+    retryable = False
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        queue_wait_seconds: Optional[float] = None,
+        queue_depth: Optional[int] = None,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_wait_seconds = queue_wait_seconds
+        self.queue_depth = queue_depth
+        self.retry_after_seconds = retry_after_seconds
+
+
+class WriterDownError(ServingError):
+    """The dataset's writer has crashed and not yet recovered.
+
+    Reads keep serving the last published (bounded-staleness) snapshot;
+    mutations fail with this error until
+    :meth:`~repro.serving.registry.DatasetRegistry.recover` replays the
+    WAL and republishes.  ``applied`` reports whether the failed batch
+    reached the durable WAL (and will therefore take effect on
+    recovery): ``True`` / ``False`` when known, ``None`` when the crash
+    point makes it uncertain.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        dataset: Optional[str] = None,
+        stale_version: Optional[int] = None,
+        applied: Optional[bool] = None,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.dataset = dataset
+        self.stale_version = stale_version
+        self.applied = applied
+        self.retry_after_seconds = retry_after_seconds
+
+
+class CircuitOpenError(ServingError):
+    """The per-dataset circuit breaker is open: recent requests failed
+    repeatedly, so new ones are rejected immediately instead of piling
+    onto a failing dependency.  ``retry_after_seconds`` is the remaining
+    cooldown before the breaker half-opens."""
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        dataset: Optional[str] = None,
+        failures: Optional[int] = None,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.dataset = dataset
+        self.failures = failures
+        self.retry_after_seconds = retry_after_seconds
+
+
+class QueryPoisonedError(ServingError):
+    """The request crashed its worker on every allowed attempt and was
+    quarantined (a "poison pill") instead of being re-enqueued forever."""
+
+    retryable = False
+
+    def __init__(
+        self, message: str = "", *, attempts: Optional[int] = None
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class InjectedCrashError(ServingError):
+    """The injected fault itself (a worker/writer death mid-operation).
+
+    Internal to the fault subsystem: the service converts it into the
+    appropriate public error (requeue, :class:`QueryPoisonedError`,
+    :class:`WriterDownError`) before a caller ever sees it.
+    """
+
+    retryable = True
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Typed retryable/terminal classification for the retry policy.
+
+    An error is retryable when it (or its class) says so via the
+    ``retryable`` attribute; everything else — wrong inputs, unknown
+    datasets, exhausted deadlines, poisoned queries — is terminal.
+    """
+    return bool(getattr(exc, "retryable", False))
+
+
+def retry_after_hint(exc: BaseException) -> Optional[float]:
+    """The server-suggested backoff carried by a typed error, if any."""
+    value = getattr(exc, "retry_after_seconds", None)
+    return None if value is None else float(value)

@@ -34,7 +34,7 @@ from typing import Dict, List, Mapping, Tuple
 from repro.core.exceptions import ConfigurationError, MapReduceError
 from repro.mapreduce.types import Block
 
-__all__ = ["FaultPlan", "TransientTaskError"]
+__all__ = ["FaultPlan", "TransientTaskError", "keyed_draw"]
 
 
 class TransientTaskError(MapReduceError):
@@ -42,6 +42,22 @@ class TransientTaskError(MapReduceError):
 
 
 _DRAW_DENOM = float(2 ** 64)
+
+
+def keyed_draw(seed: int, *key: object) -> float:
+    """Uniform [0, 1) draw keyed by ``(seed, *key)``.
+
+    The backbone of every deterministic fault schedule in the repo
+    (this module's :class:`FaultPlan` and the serving tier's
+    :class:`~repro.serving.faults.ServingFaultPlan`): a BLAKE2 hash of
+    the key material mapped to the unit interval.  No RNG state is
+    consumed sequentially, so draws are independent of evaluation
+    order, stable across threads, processes, and hosts (no dependence
+    on ``PYTHONHASHSEED``).
+    """
+    material = ":".join(str(part) for part in (seed,) + key)
+    digest = hashlib.blake2b(material.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / _DRAW_DENOM
 
 
 @dataclass(frozen=True)
@@ -104,11 +120,7 @@ class FaultPlan:
     def _draw(self, *key: object) -> float:
         """Uniform [0, 1) draw keyed by (seed, *key) — order-independent
         of when it is evaluated, stable across processes."""
-        material = ":".join(str(part) for part in (self.seed,) + key)
-        digest = hashlib.blake2b(
-            material.encode("utf-8"), digest_size=8
-        ).digest()
-        return int.from_bytes(digest, "big") / _DRAW_DENOM
+        return keyed_draw(self.seed, *key)
 
     # ------------------------------------------------------------------
     # the three fault kinds

@@ -50,15 +50,24 @@ _MANIFEST = "manifest.json"
 _BLOCKS_DIR = "blocks"
 
 
-def _atomic_write_bytes(path: str, payload: bytes) -> None:
+def atomic_write_bytes(path: str, payload: bytes) -> None:
     """Write via tmp file + ``os.replace`` so readers never observe a
-    half-written file (the crash-consistency contract of the store)."""
+    half-written file (the crash-consistency contract of the store).
+
+    Shared by this store and the serving tier's WAL/durable-snapshot
+    store (:mod:`repro.serving.wal`) so every durable artefact in the
+    repo has the same torn-write guarantee.
+    """
     tmp = f"{path}.tmp"
     with open(tmp, "wb") as handle:
         handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+
+
+#: backwards-compatible private alias (pre-serving-tier name)
+_atomic_write_bytes = atomic_write_bytes
 
 
 class CheckpointStore:

@@ -6,10 +6,19 @@ long-lived service: named datasets live in a
 monotonically versioned :class:`~repro.serving.snapshot.Snapshot`\\ s;
 a :class:`~repro.serving.service.SkylineService` executes typed
 queries on bounded worker pools behind admission control, with a
-version-keyed LRU result cache; and
+CRC-guarded, version-keyed LRU result cache; and
 :class:`~repro.serving.client.SkylineClient` /
 :func:`~repro.serving.client.replay_workload` provide the caller-side
 facade and the seeded benchmark workload.
+
+The tier is crash-safe and chaos-testable: mutations are WAL-logged
+before they are applied (:mod:`repro.serving.wal`), a crashed writer
+recovers bit-identically via :meth:`DatasetRegistry.recover`, seeded
+fault schedules (:class:`~repro.serving.faults.ServingFaultPlan`)
+inject worker/writer crashes, cache corruption, and queue delays
+deterministically, and :mod:`repro.serving.resilience` provides the
+client-side retry policy, retry budget, and per-dataset circuit
+breaker.
 """
 
 from repro.serving.admission import (
@@ -24,11 +33,17 @@ from repro.serving.client import (
     WorkloadSpec,
     replay_workload,
 )
+from repro.serving.faults import ServingFaultPlan
 from repro.serving.registry import (
     DatasetRegistry,
     DriftPolicy,
     PublishResult,
     RebuildConfig,
+)
+from repro.serving.resilience import (
+    CircuitBreaker,
+    RetryBudget,
+    RetryPolicy,
 )
 from repro.serving.service import (
     Mutation,
@@ -39,25 +54,33 @@ from repro.serving.service import (
     SkylineService,
 )
 from repro.serving.snapshot import Snapshot
+from repro.serving.wal import DatasetStore, MutationWAL, WalRecord
 
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
+    "CircuitBreaker",
     "DatasetRegistry",
+    "DatasetStore",
     "DriftPolicy",
     "Mutation",
     "MutationResult",
+    "MutationWAL",
     "PublishResult",
     "Query",
     "QueryResult",
     "RebuildConfig",
     "ReplayReport",
     "ResultCache",
+    "RetryBudget",
+    "RetryPolicy",
     "ServiceConfig",
+    "ServingFaultPlan",
     "SkylineClient",
     "SkylineService",
     "Snapshot",
     "Ticket",
+    "WalRecord",
     "WorkloadSpec",
     "replay_workload",
 ]

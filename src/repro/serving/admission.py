@@ -9,7 +9,10 @@ grow without bound and every request's latency goes with them.  The
   single writer, matching the registry's per-dataset writer lock);
 * when a class's wait queue is full the request is *shed* immediately
   with a typed :class:`~repro.core.exceptions.OverloadedError` — the
-  caller learns in microseconds, not after a doomed wait;
+  caller learns in microseconds, not after a doomed wait — carrying the
+  queue depth, the queue limit, and a retry-after hint derived from an
+  EWMA of recent service times (estimated drain time of the queue), so
+  a well-behaved client backs off by the server's own estimate;
 * every admitted request carries a :class:`Ticket` whose queue-wait and
   service-time land in ``serving.<class>_queue_wait_seconds`` /
   ``serving.<class>_service_seconds`` histograms on the shared
@@ -122,6 +125,9 @@ class AdmissionController:
         self._admitted: Dict[str, int] = {klass: 0 for klass in CLASSES}
         self._rejected: Dict[str, int] = {klass: 0 for klass in CLASSES}
         self._expired: Dict[str, int] = {klass: 0 for klass in CLASSES}
+        self._dropped: Dict[str, int] = {klass: 0 for klass in CLASSES}
+        #: EWMA of per-request service seconds, per class (drain model)
+        self._service_ewma: Dict[str, float] = {klass: 0.0 for klass in CLASSES}
 
     # ------------------------------------------------------------------
     # lifecycle hooks (called by the service)
@@ -133,7 +139,10 @@ class AdmissionController:
 
         Raises :class:`OverloadedError` when the class's wait queue is
         at capacity; otherwise returns the request's :class:`Ticket`
-        with its deadline resolved.
+        with its deadline resolved.  A shed error is *structured*: it
+        carries the observed queue depth, the configured limit, and a
+        retry-after hint (estimated queue drain time), all of which the
+        retry machinery in :mod:`repro.serving.resilience` consumes.
         """
         if klass not in CLASSES:
             raise ConfigurationError(f"unknown request class {klass!r}")
@@ -142,16 +151,24 @@ class AdmissionController:
             if self._queued[klass] >= cfg.max_queue(klass):
                 self._rejected[klass] += 1
                 queued = self._queued[klass]
+                retry_after = self._drain_estimate_locked(klass)
             else:
                 self._queued[klass] += 1
                 self._admitted[klass] += 1
                 queued = -1
+                retry_after = 0.0
         if queued >= 0:
             if self.metrics is not None:
                 self.metrics.inc(SERVING_GROUP, f"{klass}_rejected")
+                self.metrics.observe(
+                    f"serving.{klass}_shed_queue_depth", float(queued)
+                )
             raise OverloadedError(
                 f"{klass} queue full ({queued} waiting >= "
-                f"{cfg.max_queue(klass)}); request shed"
+                f"{cfg.max_queue(klass)}); request shed",
+                queue_depth=queued,
+                queue_limit=cfg.max_queue(klass),
+                retry_after_seconds=retry_after or None,
             )
         if self.metrics is not None:
             self.metrics.inc(SERVING_GROUP, f"{klass}_admitted")
@@ -184,6 +201,13 @@ class AdmissionController:
         ticket.finished_at = time.monotonic()
         with self._lock:
             self._running[ticket.klass] -= 1
+            # EWMA of service time feeds the shed retry-after estimate.
+            sample = ticket.service_seconds
+            previous = self._service_ewma[ticket.klass]
+            self._service_ewma[ticket.klass] = (
+                sample if previous == 0.0
+                else 0.8 * previous + 0.2 * sample
+            )
         if self.metrics is not None:
             self.metrics.observe(
                 f"serving.{ticket.klass}_service_seconds",
@@ -206,6 +230,36 @@ class AdmissionController:
         if self.metrics is not None:
             self.metrics.inc(SERVING_GROUP, f"{ticket.klass}_expired")
 
+    def drop(self, ticket: Ticket) -> None:
+        """The request was dequeued but will never run (quarantined as
+        a poison pill after repeatedly crashing its workers): release
+        its queue slot without touching the running counters."""
+        with self._lock:
+            self._queued[ticket.klass] -= 1
+            self._dropped[ticket.klass] += 1
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, f"{ticket.klass}_poisoned")
+
+    # ------------------------------------------------------------------
+    def _drain_estimate_locked(self, klass: str) -> float:
+        """Estimated seconds until the class's queue drains (holding
+        the lock): queued work divided by concurrency, priced at the
+        service-time EWMA."""
+        ewma = self._service_ewma[klass]
+        if ewma <= 0.0:
+            return 0.0
+        waiting = self._queued[klass] + self._running[klass]
+        return ewma * max(1.0, waiting / self.config.concurrency(klass))
+
+    def retry_after_estimate(self, klass: str) -> float:
+        """Public drain-time estimate (deadline errors reuse it)."""
+        with self._lock:
+            return self._drain_estimate_locked(klass)
+
+    def queued(self, klass: str) -> int:
+        with self._lock:
+            return self._queued[klass]
+
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Per-class admitted/rejected/expired/queued/running snapshot."""
@@ -215,6 +269,7 @@ class AdmissionController:
                     "admitted": self._admitted[klass],
                     "rejected": self._rejected[klass],
                     "expired": self._expired[klass],
+                    "dropped": self._dropped[klass],
                     "queued": self._queued[klass],
                     "running": self._running[klass],
                 }

@@ -8,6 +8,16 @@ an old snapshot keeps getting (correct) hits for it.
 
 Cached values are the query handlers' frozen payloads (write-protected
 numpy arrays), so handing the same object to many readers is safe.
+
+**CRC guard.**  Every stored payload is fingerprinted with a CRC32 over
+its array contents at store time; every hit re-verifies the CRC before
+the payload is returned.  A mismatch — a bit flip in cache memory, or
+one injected by a :class:`~repro.serving.faults.ServingFaultPlan` — is
+*detected*, the entry is evicted, and the lookup reports a miss, so the
+service recomputes from the authoritative snapshot instead of serving
+a wrong answer.  Detection events land in
+``serving.cache_corruption_detected``.
+
 Hits, misses, and evictions flow into the shared
 :class:`~repro.observability.metrics.MetricsRegistry` under the
 ``serving`` group.
@@ -15,36 +25,95 @@ Hits, misses, and evictions flow into the shared
 
 from __future__ import annotations
 
+import dataclasses
 import threading
+import zlib
 from collections import OrderedDict
 from typing import Any, Optional, Tuple
+
+import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.observability.metrics import MetricsRegistry
 
+from repro.serving.faults import ServingFaultPlan
 from repro.serving.registry import SERVING_GROUP
 
 #: cache key: (dataset name, snapshot version, canonical fingerprint)
 CacheKey = Tuple[str, int, str]
 
+#: payload attributes folded into the CRC, in order
+_CRC_FIELDS = ("ids", "points", "scores")
+
+
+def payload_crc(value: Any) -> Optional[int]:
+    """CRC32 over a payload's array contents, or None if uncheckable.
+
+    Works on anything exposing ``ids`` / ``points`` / ``scores`` numpy
+    arrays (the service's ``_Payload``); values without them are stored
+    unguarded rather than rejected.
+    """
+    crc = 0
+    seen = False
+    for name in _CRC_FIELDS:
+        array = getattr(value, name, None)
+        if array is None:
+            continue
+        arr = np.ascontiguousarray(array)
+        crc = zlib.crc32(arr.tobytes(), crc)
+        seen = True
+    return (crc & 0xFFFFFFFF) if seen else None
+
+
+def _corrupted_copy(value: Any) -> Optional[Any]:
+    """A copy of ``value`` with one array element bit-flipped (the
+    fault plan's cache-corruption injection).  None if the payload has
+    nothing to flip or is not a dataclass."""
+    if not dataclasses.is_dataclass(value):
+        return None
+    for name in ("points", "scores", "ids"):
+        array = getattr(value, name, None)
+        if array is None or getattr(array, "size", 0) == 0:
+            continue
+        mutated = np.array(array, copy=True)
+        flat = mutated.reshape(-1)
+        if mutated.dtype.kind == "f":
+            flat[0] = flat[0] + 1.0
+        else:
+            flat[0] = flat[0] ^ 1
+        mutated.setflags(write=False)
+        return dataclasses.replace(value, **{name: mutated})
+    return None
+
 
 class ResultCache:
-    """Thread-safe LRU over query results (entry-count bounded)."""
+    """Thread-safe LRU over query results (entry-count bounded).
+
+    Entries are ``(payload, crc)`` pairs; ``fault_plan`` arms seeded
+    corruption injection (the CRC is computed over the *pristine*
+    payload, then a corrupted copy is stored, so the guard must catch
+    it at lookup — exactly the memory-corruption scenario).
+    """
 
     def __init__(
         self,
         max_entries: int = 512,
         metrics: Optional[MetricsRegistry] = None,
+        fault_plan: Optional[ServingFaultPlan] = None,
     ) -> None:
         if max_entries <= 0:
             raise ConfigurationError("max_entries must be positive")
         self.max_entries = max_entries
         self.metrics = metrics
-        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self.fault_plan = fault_plan
+        self._entries: "OrderedDict[CacheKey, Tuple[Any, Optional[int]]]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._corruptions_detected = 0
 
     @staticmethod
     def make_key(dataset: str, version: int, fingerprint: str) -> CacheKey:
@@ -52,13 +121,26 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def lookup(self, key: CacheKey) -> Tuple[bool, Any]:
-        """``(hit, value)``; a hit moves the entry to the MRU end."""
+        """``(hit, value)``; a hit moves the entry to the MRU end.
+
+        A stored CRC that no longer matches the payload is a detected
+        corruption: the entry is evicted and the lookup is a miss.
+        """
+        corrupted = False
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._hits += 1
-                value = self._entries[key]
-                hit = True
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, crc = entry
+                if crc is not None and payload_crc(value) != crc:
+                    del self._entries[key]
+                    self._corruptions_detected += 1
+                    self._misses += 1
+                    corrupted = True
+                    value, hit = None, False
+                else:
+                    self._entries.move_to_end(key)
+                    self._hits += 1
+                    hit = True
             else:
                 self._misses += 1
                 value, hit = None, False
@@ -66,13 +148,30 @@ class ResultCache:
             self.metrics.inc(
                 SERVING_GROUP, "cache_hits" if hit else "cache_misses"
             )
+            if corrupted:
+                self.metrics.inc(SERVING_GROUP, "cache_corruption_detected")
         return hit, value
 
     def store(self, key: CacheKey, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the LRU tail."""
+        crc = payload_crc(value)
+        if (
+            self.fault_plan is not None
+            and crc is not None
+            and self.fault_plan.cache_corrupts(*key)
+        ):
+            mutated = _corrupted_copy(value)
+            if mutated is not None:
+                # Store the corrupted bytes under the pristine CRC: the
+                # next lookup must detect the mismatch.
+                value = mutated
+                if self.metrics is not None:
+                    self.metrics.inc(
+                        SERVING_GROUP, "cache_corruption_injected"
+                    )
         evicted = 0
         with self._lock:
-            self._entries[key] = value
+            self._entries[key] = (value, crc)
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
@@ -101,6 +200,11 @@ class ResultCache:
         with self._lock:
             return self._evictions
 
+    @property
+    def corruptions_detected(self) -> int:
+        with self._lock:
+            return self._corruptions_detected
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -108,6 +212,7 @@ class ResultCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "corruptions_detected": self._corruptions_detected,
             }
 
     def __repr__(self) -> str:

@@ -7,22 +7,33 @@ and futures — the shape a normal caller wants.
 :func:`replay_workload` drives a service with a seeded, mixed
 read/write workload (the same generator backs the ``repro serve-bench``
 CLI and ``benchmarks/test_serving.py``), and reports throughput,
-latency percentiles, cache hit rate, and shed/expired counts.
+latency percentiles, cache hit rate, shed/expired counts, and — under
+chaos — retries, typed failures, and degraded-answer counts.
+
+Replay is deterministic under retries: the operation stream is drawn
+from one seeded generator that retries never touch, and retry backoff
+comes from a seeded :class:`~repro.serving.resilience.RetryPolicy`
+keyed by ``(operation index, attempt)`` — no wall-clock jitter — so
+the same spec against the same fault plan issues the identical request
+sequence with identical backoff schedules, run after run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.exceptions import (
     ConfigurationError,
+    DatasetError,
     DeadlineExceededError,
     OverloadedError,
+    ServingError,
 )
+from repro.serving.resilience import RetryBudget, RetryPolicy
 from repro.serving.service import (
     Mutation,
     MutationResult,
@@ -33,22 +44,57 @@ from repro.serving.service import (
 
 
 class SkylineClient:
-    """Blocking convenience facade over a :class:`SkylineService`."""
+    """Blocking convenience facade over a :class:`SkylineService`.
 
-    def __init__(self, service: SkylineService, dataset: str) -> None:
+    Pass a :class:`~repro.serving.resilience.RetryPolicy` (and
+    optionally a shared :class:`~repro.serving.resilience.RetryBudget`)
+    to retry typed-retryable failures — shed requests, a crashed
+    writer, an open circuit — with seeded deterministic backoff.
+    """
+
+    def __init__(
+        self,
+        service: SkylineService,
+        dataset: str,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
+    ) -> None:
         self.service = service
         self.dataset = dataset
+        self.retry_policy = retry_policy
+        self.retry_budget = retry_budget
+        self._calls = 0
+
+    def _call(self, fn: Callable[[], object]):
+        if self.retry_policy is None:
+            return fn()
+        self._calls += 1
+        return self.retry_policy.call(
+            fn,
+            key=(self.dataset, self._calls),
+            budget=self.retry_budget,
+        )
 
     # -- reads ---------------------------------------------------------
     def skyline(self, **kw: object) -> QueryResult:
         """The full skyline of the current version."""
-        return self.service.query(Query.full(self.dataset, **kw))
+        return self._call(
+            lambda: self.service.query(Query.full(self.dataset, **kw))
+        )
 
     def subspace(self, dims: Sequence[int], **kw: object) -> QueryResult:
-        return self.service.query(Query.subspace(self.dataset, dims, **kw))
+        return self._call(
+            lambda: self.service.query(
+                Query.subspace(self.dataset, dims, **kw)
+            )
+        )
 
     def k_dominant(self, k: int, **kw: object) -> QueryResult:
-        return self.service.query(Query.kdominant(self.dataset, k, **kw))
+        return self._call(
+            lambda: self.service.query(
+                Query.kdominant(self.dataset, k, **kw)
+            )
+        )
 
     def top_k(
         self,
@@ -57,8 +103,12 @@ class SkylineClient:
         weights: Optional[Sequence[float]] = None,
         **kw: object,
     ) -> QueryResult:
-        return self.service.query(
-            Query.topk(self.dataset, k, method=method, weights=weights, **kw)
+        return self._call(
+            lambda: self.service.query(
+                Query.topk(
+                    self.dataset, k, method=method, weights=weights, **kw
+                )
+            )
         )
 
     def why_not(
@@ -67,20 +117,30 @@ class SkylineClient:
         point_id: Optional[int] = None,
         **kw: object,
     ) -> QueryResult:
-        return self.service.query(
-            Query.explain(self.dataset, point=point, point_id=point_id, **kw)
+        return self._call(
+            lambda: self.service.query(
+                Query.explain(
+                    self.dataset, point=point, point_id=point_id, **kw
+                )
+            )
         )
 
     # -- writes --------------------------------------------------------
     def insert(
         self, points: np.ndarray, ids: Sequence[int], **kw: object
     ) -> MutationResult:
-        return self.service.mutate(
-            Mutation.insert(self.dataset, points, ids, **kw)
+        return self._call(
+            lambda: self.service.mutate(
+                Mutation.insert(self.dataset, points, ids, **kw)
+            )
         )
 
     def delete(self, ids: Sequence[int], **kw: object) -> MutationResult:
-        return self.service.mutate(Mutation.delete(self.dataset, ids, **kw))
+        return self._call(
+            lambda: self.service.mutate(
+                Mutation.delete(self.dataset, ids, **kw)
+            )
+        )
 
     @property
     def version(self) -> int:
@@ -108,6 +168,12 @@ class WorkloadSpec:
     batch_size: int = 8
     seed: int = 0
     timeout_seconds: Optional[float] = None
+    #: total attempts per operation (1 = no retries); retried errors
+    #: are the typed-retryable ones (shed, writer down, circuit open)
+    retry_attempts: int = 1
+    #: base backoff for the seeded retry schedule (grows 2x per
+    #: attempt, deterministically jittered, capped at 20x base)
+    retry_base_delay: float = 0.001
 
     def __post_init__(self) -> None:
         if self.operations <= 0:
@@ -118,6 +184,10 @@ class WorkloadSpec:
             raise ConfigurationError(
                 "query_pool and batch_size must be positive"
             )
+        if self.retry_attempts < 1:
+            raise ConfigurationError("retry_attempts must be >= 1")
+        if self.retry_base_delay < 0:
+            raise ConfigurationError("retry_base_delay must be >= 0")
 
 
 @dataclass
@@ -136,6 +206,13 @@ class ReplayReport:
     queue_waits: List[float] = field(default_factory=list)
     final_version: int = 0
     final_skyline_size: int = 0
+    #: retry attempts consumed across all operations
+    retries: int = 0
+    #: reads answered under a non-fresh certificate
+    degraded_stale: int = 0
+    degraded_partial: int = 0
+    #: terminal typed failures by exception class name
+    failures: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -187,7 +264,22 @@ class ReplayReport:
             "queue_wait_seconds": self.queue_wait_percentiles(),
             "final_version": self.final_version,
             "final_skyline_size": self.final_skyline_size,
+            "retries": self.retries,
+            "degraded_stale": self.degraded_stale,
+            "degraded_partial": self.degraded_partial,
+            "failures": dict(self.failures),
         }
+
+    @property
+    def availability(self) -> float:
+        """Fraction of *admitted* operations that ended in a usable
+        answer (fresh or explicitly degraded) rather than a terminal
+        failure.  Shed operations are excluded — they were refused at
+        the door with a retry-after hint, not answered wrongly."""
+        admitted = self.operations - self.shed
+        if admitted <= 0:
+            return 1.0
+        return (self.reads + self.writes) / admitted
 
 
 def _build_query_pool(
@@ -240,7 +332,15 @@ def replay_workload(
 
     Shed (:class:`OverloadedError`) and expired
     (:class:`DeadlineExceededError`) requests are counted, not raised —
-    under deliberate overload they are the expected outcome.
+    under deliberate overload they are the expected outcome.  Other
+    typed serving failures (writer down without recovery, poisoned
+    requests, open circuits) land in ``report.failures`` by class name.
+
+    With ``spec.retry_attempts > 1``, retryable errors are retried
+    through a seeded :class:`RetryPolicy` keyed by ``(class, operation
+    index, attempt)``.  Retries deliberately do **not** consume the
+    workload generator — the submitted operation stream is identical
+    with or without retries enabled.
     """
     snapshot = service.registry.snapshot(spec.dataset)
     d = snapshot.dimensions
@@ -250,6 +350,33 @@ def replay_workload(
     next_id = int(snapshot.ids.max()) + 1 if snapshot.ids.size else 0
 
     report = ReplayReport()
+    policy: Optional[RetryPolicy] = None
+    budget: Optional[RetryBudget] = None
+    if spec.retry_attempts > 1:
+        policy = RetryPolicy(
+            max_attempts=spec.retry_attempts,
+            base_delay=spec.retry_base_delay,
+            max_delay=spec.retry_base_delay * 20,
+            seed=spec.seed,
+        )
+        budget = RetryBudget(
+            capacity=max(10.0, spec.operations * 0.1)
+        )
+
+    def _issue(fn: Callable[[], object], op: int) -> object:
+        if policy is None:
+            return fn()
+
+        def _count_retry(
+            attempt: int, exc: BaseException, pause: float
+        ) -> None:
+            report.retries += 1
+
+        return policy.call(
+            fn, key=("op", op), budget=budget,
+            on_retry=_count_retry,
+        )
+
     started = perf_counter()
     for op in range(spec.operations):
         report.operations += 1
@@ -257,18 +384,27 @@ def replay_workload(
             query = pool[int(rng.integers(0, len(pool)))]
             began = perf_counter()
             try:
-                result = service.query(query)
+                result = _issue(lambda: service.query(query), op)
             except OverloadedError:
                 report.shed += 1
                 continue
             except DeadlineExceededError:
                 report.expired += 1
                 continue
+            except ServingError as exc:
+                name = type(exc).__name__
+                report.failures[name] = report.failures.get(name, 0) + 1
+                continue
             report.reads += 1
             report.read_latencies.append(perf_counter() - began)
             report.queue_waits.append(result.queue_wait_seconds)
             if result.cached:
                 report.cache_hits += 1
+            certificate = result.certificate or {}
+            if certificate.get("kind") == "stale":
+                report.degraded_stale += 1
+            elif certificate.get("kind") == "partial":
+                report.degraded_partial += 1
         else:
             current = service.registry.snapshot(spec.dataset)
             if op % 2 == 0 or current.size <= spec.batch_size:
@@ -292,12 +428,20 @@ def replay_workload(
                 )
             began = perf_counter()
             try:
-                result = service.mutate(mutation)
+                result = _issue(lambda: service.mutate(mutation), op)
             except OverloadedError:
                 report.shed += 1
                 continue
             except DeadlineExceededError:
                 report.expired += 1
+                continue
+            except (ServingError, DatasetError) as exc:
+                # DatasetError covers a retried batch whose first
+                # attempt had already taken effect (duplicate insert /
+                # missing delete ids) — a failure of the *request*, not
+                # of serving.
+                name = type(exc).__name__
+                report.failures[name] = report.failures.get(name, 0) + 1
                 continue
             report.writes += 1
             report.write_latencies.append(perf_counter() - began)

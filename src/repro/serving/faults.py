@@ -1,0 +1,241 @@
+"""Seeded, deterministic fault injection for the serving tier.
+
+:class:`~repro.mapreduce.faults.FaultPlan` made the *offline* engine's
+failures a first-class seeded object; :class:`ServingFaultPlan` extends
+the same keyed-draw idiom to the failure modes a long-lived service
+actually sees:
+
+* **worker crashes** — a worker thread dies mid-request; the service
+  respawns it, re-enqueues the in-flight request once, and quarantines
+  it as a poison pill if it keeps killing workers;
+* **writer crashes** — the registry writer dies *before*, *during*, or
+  *after* publishing a mutation batch, losing its in-memory incremental
+  state; recovery replays the durable WAL onto the last durable
+  snapshot (:mod:`repro.serving.wal`);
+* **result-cache corruption** — a stored payload is bit-flipped in
+  place; the cache's CRC guard detects it at lookup and recomputes
+  instead of serving wrong data;
+* **queue latency** — an injected scheduling delay before a request is
+  handled (a GC pause, a noisy neighbour).
+
+Every decision is a keyed draw (:func:`~repro.mapreduce.faults.keyed_draw`
+— BLAKE2 of ``(seed, kind, ...identity)``), so the same plan produces
+the same fault schedule regardless of thread interleaving, process, or
+host.  Identities are logical (per-dataset mutation sequence numbers,
+per-class dequeue indices), not wall-clock, which is what makes chaos
+runs replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.exceptions import ConfigurationError
+from repro.mapreduce.faults import keyed_draw
+
+__all__ = ["ServingFaultPlan", "WRITER_PHASES"]
+
+#: where, relative to the publish point, a writer crash can land:
+#: ``before`` = before the batch reaches the WAL (mutation lost),
+#: ``during`` = after the WAL append but before the snapshot publish
+#: (mutation durable, applied on recovery), ``after`` = after the
+#: snapshot publish (readers already see it; recovery is a no-op
+#: replay to the same state).
+WRITER_PHASES = ("before", "during", "after")
+
+
+@dataclass(frozen=True)
+class ServingFaultPlan:
+    """A seeded, deterministic schedule of serving-tier failures.
+
+    Parameters
+    ----------
+    seed:
+        Keys every draw; same seed → identical fault schedule.
+    worker_crash_rate:
+        Probability that handling one dequeued request kills its worker
+        thread (drawn per ``(class, dequeue index, attempt)``, so a
+        re-enqueued request re-draws).
+    writer_crash_rate:
+        Probability that one mutation batch crashes the dataset writer
+        (drawn per ``(dataset, wal sequence)``); a second draw picks the
+        crash phase uniformly from :data:`WRITER_PHASES`.
+    cache_corruption_rate:
+        Probability that a payload is bit-flipped as it is stored in
+        the result cache (drawn per cache key).
+    queue_delay_rate / queue_delay_seconds:
+        Probability that one dequeued request is delayed by
+        ``queue_delay_seconds`` before execution.
+    max_requeues:
+        How many times a request whose worker crashed is re-enqueued
+        before being quarantined as poisoned.
+    scripted_writer_crashes:
+        Exact schedules for tests: ``{(dataset, seq): phase}`` forces
+        the writer crash for that WAL sequence number, independent of
+        ``writer_crash_rate``.
+    """
+
+    seed: int = 0
+    worker_crash_rate: float = 0.0
+    writer_crash_rate: float = 0.0
+    cache_corruption_rate: float = 0.0
+    queue_delay_rate: float = 0.0
+    queue_delay_seconds: float = 0.002
+    max_requeues: int = 1
+    scripted_writer_crashes: Mapping[Tuple[str, int], str] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for name in (
+            "worker_crash_rate",
+            "writer_crash_rate",
+            "cache_corruption_rate",
+            "queue_delay_rate",
+        ):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1]; got {rate!r}"
+                )
+        if self.queue_delay_seconds < 0:
+            raise ConfigurationError("queue_delay_seconds must be >= 0")
+        if self.max_requeues < 0:
+            raise ConfigurationError("max_requeues must be >= 0")
+        for (dataset, seq), phase in self.scripted_writer_crashes.items():
+            if phase not in WRITER_PHASES:
+                raise ConfigurationError(
+                    f"scripted writer crash for ({dataset!r}, {seq}) has "
+                    f"unknown phase {phase!r}; choose from {WRITER_PHASES}"
+                )
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.worker_crash_rate
+            or self.writer_crash_rate
+            or self.cache_corruption_rate
+            or self.queue_delay_rate
+            or self.scripted_writer_crashes
+        )
+
+    # ------------------------------------------------------------------
+    # the four fault kinds
+    # ------------------------------------------------------------------
+    def worker_crashes(self, klass: str, index: int, attempt: int) -> bool:
+        """Does handling attempt ``attempt`` (1-based) of the
+        ``index``-th dequeued ``klass`` request kill its worker?"""
+        if self.worker_crash_rate <= 0.0:
+            return False
+        return (
+            keyed_draw(self.seed, "svc-worker", klass, index, attempt)
+            < self.worker_crash_rate
+        )
+
+    def writer_crash_phase(
+        self, dataset: str, seq: int, incarnation: int = 0
+    ) -> Optional[str]:
+        """The crash phase for mutation ``seq`` of ``dataset``, or
+        ``None`` if the writer survives this batch.
+
+        ``incarnation`` is the writer's recovery count; keying the draw
+        on it means a batch that crashed incarnation 0 re-draws after
+        recovery instead of deterministically crashing on every retry
+        forever (the version — and hence ``seq`` — doesn't advance
+        across a failed batch).  Scripted crashes fire on incarnation 0
+        only: crash once, then let the recovered writer succeed.
+        """
+        if incarnation == 0:
+            scripted = self.scripted_writer_crashes.get((dataset, seq))
+            if scripted is not None:
+                return scripted
+        if self.writer_crash_rate <= 0.0:
+            return None
+        if (
+            keyed_draw(self.seed, "svc-writer", dataset, seq, incarnation)
+            >= self.writer_crash_rate
+        ):
+            return None
+        pick = keyed_draw(
+            self.seed, "svc-writer-phase", dataset, seq, incarnation
+        )
+        return WRITER_PHASES[int(pick * len(WRITER_PHASES))]
+
+    def cache_corrupts(self, dataset: str, version: int,
+                       fingerprint: str) -> bool:
+        """Is the payload stored under this cache key bit-flipped?"""
+        if self.cache_corruption_rate <= 0.0:
+            return False
+        return (
+            keyed_draw(self.seed, "svc-cache", dataset, version, fingerprint)
+            < self.cache_corruption_rate
+        )
+
+    def queue_delay(self, klass: str, index: int) -> float:
+        """Injected scheduling delay (seconds) before handling the
+        ``index``-th dequeued ``klass`` request; 0.0 almost always."""
+        if self.queue_delay_rate <= 0.0 or self.queue_delay_seconds <= 0.0:
+            return 0.0
+        if (
+            keyed_draw(self.seed, "svc-delay", klass, index)
+            < self.queue_delay_rate
+        ):
+            return self.queue_delay_seconds
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # CLI spec parsing (mirrors FaultPlan.parse)
+    # ------------------------------------------------------------------
+    _SPEC_KEYS = {
+        "seed": ("seed", int),
+        "worker": ("worker_crash_rate", float),
+        "writer": ("writer_crash_rate", float),
+        "cache": ("cache_corruption_rate", float),
+        "delay": ("queue_delay_rate", float),
+        "delaysec": ("queue_delay_seconds", float),
+        "requeues": ("max_requeues", int),
+    }
+
+    @classmethod
+    def parse(cls, spec: str) -> "ServingFaultPlan":
+        """Parse ``"seed=7,worker=0.05,writer=0.1,cache=0.1"`` specs.
+
+        Keys: ``seed``, ``worker`` (crash rate), ``writer`` (crash
+        rate), ``cache`` (corruption rate), ``delay`` (rate),
+        ``delaysec`` (magnitude), ``requeues``.
+        """
+        kwargs: Dict[str, object] = {}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise ConfigurationError(
+                    f"fault spec token {token!r} must look like key=value"
+                )
+            key, _, raw = token.partition("=")
+            key = key.strip().lower()
+            if key not in cls._SPEC_KEYS:
+                raise ConfigurationError(
+                    f"unknown serving fault spec key {key!r}; "
+                    f"choose from {sorted(cls._SPEC_KEYS)}"
+                )
+            attr, cast = cls._SPEC_KEYS[key]
+            try:
+                kwargs[attr] = cast(raw.strip())
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad value {raw.strip()!r} for fault spec key {key!r}"
+                ) from exc
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Compact one-line summary (CLI/report headers)."""
+        return (
+            f"seed={self.seed} worker={self.worker_crash_rate} "
+            f"writer={self.writer_crash_rate} "
+            f"cache={self.cache_corruption_rate} "
+            f"delay={self.queue_delay_rate}@{self.queue_delay_seconds}s "
+            f"requeues={self.max_requeues}"
+        )

@@ -12,7 +12,22 @@ dataset has
 * a :class:`DriftPolicy` bounding how much incremental delete churn is
   tolerated before the skyline is recomputed from scratch with the
   full pipeline (:func:`repro.pipeline.supervisor.supervised_run`), so
-  incremental error can never compound silently.
+  incremental error can never compound silently;
+* optionally, a durable home (:class:`~repro.serving.wal.DatasetStore`):
+  every mutation batch is appended to a CRC32-framed WAL *before* it is
+  applied, and the full state is checkpointed (tmp+rename) every
+  ``checkpoint_every`` publishes.  A crashed writer recovers by
+  replaying WAL-onto-last-durable-snapshot (:meth:`recover`), and the
+  republished snapshot is bit-identical — same alive set, same skyline,
+  same version — to the uninterrupted run.
+
+While a writer is down (a real crash, or one injected by a
+:class:`~repro.serving.faults.ServingFaultPlan`), reads keep serving
+the last published snapshot — bounded staleness, never an error — and
+mutations fail fast with a typed
+:class:`~repro.core.exceptions.WriterDownError` whose ``applied`` field
+tells the caller whether the batch already reached the durable WAL
+(and will therefore take effect on recovery).
 
 The drift rebuild feeds the alive set back through the paper's
 three-phase engine and adopts only the returned skyline *ids* — the
@@ -28,21 +43,30 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.core.exceptions import ConfigurationError, DatasetError
+from repro.core.exceptions import (
+    ConfigurationError,
+    DatasetError,
+    WriterDownError,
+)
 from repro.maintenance.maintainer import SkylineMaintainer
 from repro.observability.metrics import MetricsRegistry
+from repro.serving.faults import ServingFaultPlan
 from repro.serving.snapshot import Snapshot
+from repro.serving.wal import DatasetStore, WalRecord
 from repro.zorder.encoding import ZGridCodec, quantize_dataset
 from repro.zorder.zbtree import build_zbtree
 from repro.zorder.zsearch import zsearch
 
 #: metrics group for registry-level events
 SERVING_GROUP = "serving"
+
+#: default retry-after hint handed to writers while the writer is down
+_WRITER_RETRY_AFTER = 0.05
 
 
 @dataclass(frozen=True)
@@ -132,6 +156,8 @@ class PublishResult:
     skyline_size: int
     #: did this publish include a full drift rebuild?
     rebuilt: bool = False
+    #: did this publish come from WAL replay after a crash?
+    recovered: bool = False
 
 
 class _DatasetState:
@@ -140,6 +166,8 @@ class _DatasetState:
     __slots__ = (
         "name", "codec", "maintainer", "snapshot", "lock",
         "drift", "rebuild", "deletes_since_rebuild", "history",
+        "store", "writer_down", "pending_batches",
+        "publishes_since_checkpoint", "recoveries",
     )
 
     def __init__(
@@ -153,13 +181,20 @@ class _DatasetState:
     ) -> None:
         self.name = name
         self.codec = codec
-        self.maintainer = maintainer
+        self.maintainer: Optional[SkylineMaintainer] = maintainer
         self.snapshot: Optional[Snapshot] = None
         self.lock = threading.Lock()
         self.drift = drift
         self.rebuild = rebuild
         self.deletes_since_rebuild = 0
         self.history: Deque[Snapshot] = deque(maxlen=max(1, keep_versions))
+        self.store: Optional[DatasetStore] = None
+        self.writer_down = False
+        #: durable-but-unpublished WAL batches (crash between WAL
+        #: append and publish)
+        self.pending_batches = 0
+        self.publishes_since_checkpoint = 0
+        self.recoveries = 0
 
 
 class DatasetRegistry:
@@ -169,17 +204,33 @@ class DatasetRegistry:
     serialise per dataset behind a writer lock and publish a fresh
     snapshot atomically.  Reads (:meth:`snapshot`) are a single
     attribute load and never block on writers.
+
+    ``durability_dir`` turns on the WAL + checkpoint store (one
+    subdirectory per dataset); ``fault_plan`` arms seeded writer-crash
+    injection for chaos testing.
     """
 
     def __init__(
         self,
         metrics: Optional[MetricsRegistry] = None,
         keep_versions: int = 3,
+        durability_dir: Optional[str] = None,
+        checkpoint_every: int = 8,
+        fault_plan: Optional[ServingFaultPlan] = None,
     ) -> None:
+        if checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be >= 1")
         self.metrics = metrics
         self._keep_versions = keep_versions
+        self.durability_dir = durability_dir
+        self.checkpoint_every = checkpoint_every
+        self.fault_plan = fault_plan
         self._states: Dict[str, _DatasetState] = {}
         self._lock = threading.Lock()
+
+    @property
+    def durable(self) -> bool:
+        return self.durability_dir is not None
 
     # ------------------------------------------------------------------
     # registration
@@ -243,7 +294,13 @@ class DatasetRegistry:
         state.maintainer = SkylineMaintainer.from_state(
             codec, points, ids, sky_ids, metrics=self.metrics
         )
+        if self.durable:
+            state.store = DatasetStore(self.durability_dir, name)
         result = self._publish(state, rebuilt=False)
+        if state.store is not None:
+            # Version 1 is the recovery baseline: checkpoint it (and
+            # start an empty WAL) before the dataset becomes visible.
+            self._checkpoint(state)
         with self._lock:
             if name in self._states:
                 raise ConfigurationError(
@@ -308,10 +365,36 @@ class DatasetRegistry:
         return self.snapshot(name).version
 
     def is_skyline_member(self, name: str, point_id: int) -> bool:
-        """Live skyline membership (the maintainer's cached id-set)."""
+        """Live skyline membership (the maintainer's cached id-set).
+
+        Falls back to the last published snapshot's skyline while the
+        writer is down (bounded staleness, same as every other read).
+        """
         state = self._state(name)
         with state.lock:
-            return state.maintainer.is_skyline_member(point_id)
+            if state.maintainer is not None:
+                return state.maintainer.is_skyline_member(point_id)
+        snapshot = self.snapshot(name)
+        if snapshot.row_of(point_id) is None:
+            raise DatasetError(f"point id {point_id} is not alive")
+        return bool(np.any(snapshot.sky_ids == int(point_id)))
+
+    def writer_status(self, name: str) -> Dict[str, Any]:
+        """Typed writer-health snapshot (feeds query certificates).
+
+        Deliberately lock-free: each field is a single atomic attribute
+        read, so the read path never blocks behind an in-flight
+        mutation (a momentarily stale answer is fine — the certificate
+        describes the serving regime, not a transaction).
+        """
+        state = self._state(name)
+        snapshot = state.snapshot
+        return {
+            "writer_down": state.writer_down,
+            "pending_batches": state.pending_batches,
+            "recoveries": state.recoveries,
+            "published_version": snapshot.version if snapshot else 0,
+        }
 
     # ------------------------------------------------------------------
     # mutations
@@ -322,39 +405,256 @@ class DatasetRegistry:
         """Insert a batch and publish the next version."""
         state = self._state(name)
         points = np.asarray(points, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
         with state.lock:
-            state.maintainer.insert_block(
-                points, np.asarray(ids, dtype=np.int64)
-            )
-            rebuilt = self._maybe_rebuild(state)
-            return self._publish(state, rebuilt=rebuilt)
+            self._require_writer(state)
+            return self._mutate(state, "insert", points, ids)
 
     def delete(self, name: str, ids: Sequence[int]) -> PublishResult:
         """Delete a batch by id and publish the next version."""
         state = self._state(name)
+        ids = np.asarray([int(i) for i in ids], dtype=np.int64)
         with state.lock:
-            doomed = [int(i) for i in ids]
-            state.maintainer.delete(doomed)
-            state.deletes_since_rebuild += len(doomed)
-            rebuilt = self._maybe_rebuild(state)
-            return self._publish(state, rebuilt=rebuilt)
+            self._require_writer(state)
+            return self._mutate(state, "delete", None, ids)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self, name: str) -> PublishResult:
+        """Replay WAL-onto-last-durable-checkpoint and republish.
+
+        Rebuilds the writer's in-memory state from the durable baseline,
+        re-applies every WAL batch beyond it (dropping at most one torn
+        tail frame — a crash mid-append of an unacknowledged batch),
+        republishes a snapshot bit-identical to the uninterrupted run at
+        the same version, checkpoints the recovered state, and brings
+        the writer back up.  Idempotent: recovering a healthy durable
+        dataset is a no-op republish of the current version.
+        """
+        state = self._state(name)
+        with state.lock:
+            if state.store is None:
+                raise ConfigurationError(
+                    f"dataset {name!r} has no durable store; recovery "
+                    "requires DatasetRegistry(durability_dir=...)"
+                )
+            baseline = state.store.load_checkpoint()
+            if baseline is None:
+                raise ConfigurationError(
+                    f"dataset {name!r} has no durable checkpoint to "
+                    "recover from"
+                )
+            maintainer = SkylineMaintainer.from_state(
+                state.codec,
+                baseline.points,
+                baseline.ids,
+                baseline.sky_ids,
+                metrics=self.metrics,
+            )
+            state.maintainer = maintainer
+            state.deletes_since_rebuild = baseline.deletes_since_rebuild
+            replay = state.store.wal.replay()
+            version = baseline.version
+            replayed = 0
+            for record in replay.records:
+                if record.seq <= baseline.seq:
+                    continue
+                if record.op == "insert":
+                    maintainer.insert_block(
+                        np.asarray(record.points, dtype=np.float64),
+                        np.asarray(record.ids, dtype=np.int64),
+                    )
+                else:
+                    maintainer.delete(list(record.ids))
+                    state.deletes_since_rebuild += len(record.ids)
+                self._maybe_rebuild(state)
+                # a drift rebuild swaps the maintainer object
+                maintainer = state.maintainer
+                version = record.seq
+                replayed += 1
+            state.writer_down = False
+            state.pending_batches = 0
+            state.recoveries += 1
+            meta = {
+                "recovered": True,
+                "replayed_batches": replayed,
+                "dropped_tail": replay.dropped_tail,
+                "baseline_version": baseline.version,
+            }
+            result = self._publish(
+                state, rebuilt=False, version=version, meta=meta,
+                recovered=True,
+            )
+            # Recovery checkpoint: the next crash replays from here.
+            self._checkpoint(state)
+            if self.metrics is not None:
+                self.metrics.inc(SERVING_GROUP, "writer_recoveries")
+                self.metrics.inc(SERVING_GROUP, "wal_replayed", replayed)
+                if replay.dropped_tail:
+                    self.metrics.inc(
+                        SERVING_GROUP, "wal_torn_tails", replay.dropped_tail
+                    )
+            return result
 
     # ------------------------------------------------------------------
     # internals (caller holds state.lock)
     # ------------------------------------------------------------------
-    def _publish(self, state: _DatasetState, rebuilt: bool) -> PublishResult:
+    def _require_writer(self, state: _DatasetState) -> None:
+        if state.writer_down:
+            raise WriterDownError(
+                f"writer for dataset {state.name!r} is down; reads are "
+                "serving the last published snapshot — call recover() "
+                "to replay the WAL",
+                dataset=state.name,
+                stale_version=(
+                    state.snapshot.version if state.snapshot else 0
+                ),
+                applied=False,
+                retry_after_seconds=_WRITER_RETRY_AFTER,
+            )
+
+    def _validate_batch(
+        self,
+        state: _DatasetState,
+        op: str,
+        points: Optional[np.ndarray],
+        ids: np.ndarray,
+    ) -> None:
+        """Reject an inapplicable batch *before* it reaches the WAL.
+
+        The log must only ever record batches that apply cleanly: a
+        frame whose apply then fails would never publish its sequence
+        number, the next batch would reuse it, and recovery would
+        refuse the duplicate-seq log.  This is also what makes the
+        service's recover-then-re-execute path safe — re-executing a
+        batch that recovery already applied fails *here*, as a typed
+        DatasetError, with the WAL untouched.
+        """
+        assert state.snapshot is not None
+        alive = state.snapshot.ids
+        if op == "insert":
+            assert points is not None
+            if points.ndim != 2 or ids.shape != (points.shape[0],):
+                raise DatasetError("need (n, d) points and matching ids")
+            if np.unique(ids).size != ids.size:
+                raise DatasetError("duplicate ids within insert batch")
+            clash = np.intersect1d(ids, alive)
+            if clash.size:
+                raise DatasetError(
+                    f"point id {int(clash[0])} already alive"
+                )
+        else:
+            missing = np.setdiff1d(ids, alive)
+            if missing.size:
+                raise DatasetError(
+                    f"point ids not alive: {missing.tolist()}"
+                )
+
+    def _mutate(
+        self,
+        state: _DatasetState,
+        op: str,
+        points: Optional[np.ndarray],
+        ids: np.ndarray,
+    ) -> PublishResult:
+        assert state.snapshot is not None and state.maintainer is not None
+        self._validate_batch(state, op, points, ids)
+        seq = state.snapshot.version + 1
+        phase = (
+            self.fault_plan.writer_crash_phase(
+                state.name, seq, state.recoveries
+            )
+            if self.fault_plan is not None
+            else None
+        )
+        if phase == "before":
+            # Crash before the WAL append: the batch is lost entirely.
+            self._crash_writer(state, seq, phase, applied=False)
+        if state.store is not None:
+            record = (
+                WalRecord.insert(seq, points, ids)
+                if op == "insert"
+                else WalRecord.delete(seq, ids)
+            )
+            state.store.wal.append(record)
+            if self.metrics is not None:
+                self.metrics.inc(SERVING_GROUP, "wal_appends")
+        if phase == "during":
+            # Crash after the WAL append but before apply/publish: the
+            # batch is durable and will take effect on recovery.
+            durable = state.store is not None
+            if durable:
+                state.pending_batches += 1
+            self._crash_writer(state, seq, phase, applied=durable)
+        if op == "insert":
+            state.maintainer.insert_block(points, ids)
+        else:
+            state.maintainer.delete([int(i) for i in ids])
+            state.deletes_since_rebuild += len(ids)
+        rebuilt = self._maybe_rebuild(state)
+        result = self._publish(state, rebuilt=rebuilt)
+        if phase == "after":
+            # Crash after the publish: readers already see the new
+            # version; only the writer's in-memory state is lost.
+            self._crash_writer(state, seq, phase, applied=True)
+        self._maybe_checkpoint(state)
+        return result
+
+    def _crash_writer(
+        self,
+        state: _DatasetState,
+        seq: int,
+        phase: str,
+        applied: Optional[bool],
+    ) -> None:
+        """Simulate a writer process death: the in-memory incremental
+        state is gone; only durable artefacts (WAL + checkpoint) and
+        already-published snapshots survive."""
+        state.writer_down = True
+        state.maintainer = None
+        if state.store is not None:
+            state.store.wal.close()
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, "writer_crashes")
+            self.metrics.inc(SERVING_GROUP, f"writer_crashes_{phase}")
+        raise WriterDownError(
+            f"writer for dataset {state.name!r} crashed {phase} "
+            f"publishing batch seq={seq}",
+            dataset=state.name,
+            stale_version=state.snapshot.version if state.snapshot else 0,
+            applied=applied,
+            retry_after_seconds=_WRITER_RETRY_AFTER,
+        )
+
+    def _publish(
+        self,
+        state: _DatasetState,
+        rebuilt: bool,
+        version: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        recovered: bool = False,
+    ) -> PublishResult:
+        assert state.maintainer is not None
         previous = state.snapshot
-        version = 1 if previous is None else previous.version + 1
+        if version is None:
+            version = 1 if previous is None else previous.version + 1
         points, ids = state.maintainer.alive()
         sky_points, sky_ids = state.maintainer.skyline()
         snapshot = Snapshot.build(
             state.name, version, state.codec,
             points, ids, sky_points, sky_ids,
+            meta=meta,
         )
+        if state.history and state.history[-1].version == version:
+            # Recovery republish of an already-published version:
+            # replace it in the ring instead of duplicating.
+            state.history.pop()
         state.history.append(snapshot)
         # The single publication point: readers see old or new, nothing
         # in between.
         state.snapshot = snapshot
+        state.publishes_since_checkpoint += 1
         if self.metrics is not None:
             self.metrics.inc(SERVING_GROUP, "publishes")
             if rebuilt:
@@ -365,9 +665,36 @@ class DatasetRegistry:
             size=snapshot.size,
             skyline_size=snapshot.skyline_size,
             rebuilt=rebuilt,
+            recovered=recovered,
         )
 
+    def _maybe_checkpoint(self, state: _DatasetState) -> None:
+        if (
+            state.store is not None
+            and state.publishes_since_checkpoint >= self.checkpoint_every
+        ):
+            self._checkpoint(state)
+
+    def _checkpoint(self, state: _DatasetState) -> None:
+        assert state.store is not None and state.maintainer is not None
+        assert state.snapshot is not None
+        points, ids = state.maintainer.alive()
+        _, sky_ids = state.maintainer.skyline()
+        state.store.save_checkpoint(
+            state.codec,
+            seq=state.snapshot.version,
+            version=state.snapshot.version,
+            points=points,
+            ids=ids,
+            sky_ids=sky_ids,
+            deletes_since_rebuild=state.deletes_since_rebuild,
+        )
+        state.publishes_since_checkpoint = 0
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, "checkpoints")
+
     def _maybe_rebuild(self, state: _DatasetState) -> bool:
+        assert state.maintainer is not None
         if not state.drift.should_rebuild(
             state.deletes_since_rebuild, state.maintainer.size
         ):

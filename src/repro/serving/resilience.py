@@ -1,0 +1,300 @@
+"""Retry policy, retry budget, and circuit breaker for the serving tier.
+
+The client-side half of the fault story: typed errors
+(:mod:`repro.core.exceptions`) tell a caller *whether* retrying can
+help (:func:`~repro.core.exceptions.is_retryable`) and *when*
+(``retry_after_seconds`` hints); this module turns that into mechanism:
+
+* :class:`RetryPolicy` — exponential backoff with **deterministic
+  keyed jitter** (the same BLAKE2 keyed-draw idiom as the fault plans,
+  so a seeded replay schedules byte-identical retry delays run-to-run;
+  no wall-clock entropy);
+* :class:`RetryBudget` — a token bucket that caps the *fleet-wide*
+  retry amplification: each retry spends a token, each success earns a
+  fraction back, and an empty bucket turns retryable errors terminal
+  (retry storms are how overloaded services die);
+* :class:`CircuitBreaker` — per-dataset failure tracking with the
+  classic closed → open → half-open state machine; while open, calls
+  fail immediately with
+  :class:`~repro.core.exceptions.CircuitOpenError` carrying the
+  remaining cooldown as its retry-after hint.
+
+Everything takes an injectable ``clock`` / ``sleep`` so unit tests run
+on a fake clock with zero real waiting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    is_retryable,
+    retry_after_hint,
+)
+from repro.mapreduce.faults import keyed_draw
+
+__all__ = ["RetryPolicy", "RetryBudget", "CircuitBreaker"]
+
+
+class RetryBudget:
+    """Token bucket bounding total retry amplification.
+
+    Starts full at ``capacity``.  Each retry attempt must
+    :meth:`spend` one token; each *successful* call
+    :meth:`deposit`\\ s ``refill_per_success`` (capped at capacity).
+    When the bucket is empty, retryable errors are treated as terminal
+    — under sustained failure the client degrades to roughly
+    ``refill_per_success`` retries per success instead of multiplying
+    load.
+    """
+
+    def __init__(
+        self, capacity: float = 10.0, refill_per_success: float = 0.5
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if refill_per_success < 0:
+            raise ConfigurationError("refill_per_success must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_success = float(refill_per_success)
+        self._tokens = float(capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def spend(self) -> bool:
+        """Take one token; False (no retry allowed) when empty."""
+        with self._lock:
+            if self._tokens < 1.0:
+                return False
+            self._tokens -= 1.0
+            return True
+
+    def deposit(self) -> None:
+        """A call succeeded; earn back a fraction of a token."""
+        with self._lock:
+            self._tokens = min(
+                self.capacity, self._tokens + self.refill_per_success
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff over typed retryable errors.
+
+    ``delay(attempt, key)`` is a pure function of ``(seed, key,
+    attempt)``: base exponential growth, capped at ``max_delay``, with
+    *deterministic* jitter — a keyed draw scales the delay into
+    ``[base * (1 - jitter), base]``.  Two runs with the same seed and
+    keys back off identically; two concurrent callers with different
+    keys decorrelate, which is all jitter is for.
+
+    A typed error's ``retry_after_seconds`` hint, when present,
+    overrides the computed delay (the server knows its own drain time
+    better than the client's exponential guess).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    #: jitter fraction in [0, 1]: 0 = none, 0.5 = up to 50% shaved
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, key: Tuple[object, ...] = ()) -> float:
+        """Backoff before retry ``attempt`` (1-based: after the
+        ``attempt``-th failure)."""
+        base = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter <= 0.0:
+            return base
+        draw = keyed_draw(self.seed, "retry", *key, attempt)
+        return base * (1.0 - self.jitter * draw)
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        key: Tuple[object, ...] = (),
+        budget: Optional[RetryBudget] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ):
+        """Run ``fn`` with retries; returns its result or raises the
+        last error.
+
+        Only typed-retryable errors (:func:`is_retryable`) are retried;
+        terminal errors propagate immediately.  ``on_retry(attempt,
+        error, delay)`` fires before each backoff — the workload
+        replayer uses it to account retries without wall-clock sleeps
+        (pass ``sleep=lambda s: None`` to make backoff purely logical).
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = fn()
+            except BaseException as exc:  # noqa: BLE001 — reclassified below
+                if attempt >= self.max_attempts or not is_retryable(exc):
+                    raise
+                if budget is not None and not budget.spend():
+                    raise
+                hint = retry_after_hint(exc)
+                pause = self.delay(attempt, key)
+                if hint is not None:
+                    pause = max(pause, hint)
+                if on_retry is not None:
+                    on_retry(attempt, exc, pause)
+                if pause > 0:
+                    sleep(pause)
+                continue
+            if budget is not None:
+                budget.deposit()
+            return result
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure containment for one dataset.
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker;
+    * **open** — :meth:`allow` raises
+      :class:`~repro.core.exceptions.CircuitOpenError` (with the
+      remaining cooldown as retry-after) until ``cooldown_seconds``
+      elapse;
+    * **half-open** — one probe request is let through; success closes
+      the breaker, failure re-opens it for another cooldown.
+
+    Deliberately consecutive-failure based (not windowed rates): the
+    transitions are exactly reproducible under a fake clock, which the
+    chaos tests rely on.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        dataset: str,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ConfigurationError("cooldown_seconds must be >= 0")
+        self.dataset = dataset
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        if self._on_transition is not None:
+            self._on_transition(self.dataset, old, new_state)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._transition(self.HALF_OPEN)
+            self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    def allow(self) -> None:
+        """Gate one request; raises ``CircuitOpenError`` when open (or
+        when half-open and the probe slot is taken)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return
+            if self._state == self.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True  # this caller is the probe
+                return
+            remaining = self.cooldown_seconds
+            if self._opened_at is not None:
+                remaining = max(
+                    0.0,
+                    self.cooldown_seconds
+                    - (self._clock() - self._opened_at),
+                )
+            raise CircuitOpenError(
+                f"circuit for dataset {self.dataset!r} is "
+                f"{self._state} after {self._consecutive_failures} "
+                f"consecutive failures; retry in {remaining:.3f}s",
+                dataset=self.dataset,
+                failures=self._consecutive_failures,
+                retry_after_seconds=remaining,
+            )
+
+    def abort_probe(self) -> None:
+        """The request :meth:`allow` let through never actually ran
+        (shed at admission, deadline expired, cancelled): free the
+        half-open probe slot without counting an outcome."""
+        with self._lock:
+            self._probe_in_flight = False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != self.CLOSED:
+                self._transition(self.CLOSED)
+                self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if self._state == self.HALF_OPEN or (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(self.OPEN)
+                self._opened_at = self._clock()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.dataset!r}, state={self.state}, "
+            f"failures={self._consecutive_failures})"
+        )

@@ -35,7 +35,7 @@ import queue
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from time import monotonic
+from time import monotonic, sleep
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,6 +44,9 @@ from repro.core.exceptions import (
     ConfigurationError,
     DatasetError,
     DeadlineExceededError,
+    QueryPoisonedError,
+    WriterDownError,
+    is_retryable,
 )
 from repro.extensions.explain import WhyNotExplanation, why_not
 from repro.extensions.kdominant import k_dominant_skyline
@@ -59,11 +62,13 @@ from repro.serving.admission import (
     Ticket,
 )
 from repro.serving.cache import ResultCache
+from repro.serving.faults import ServingFaultPlan
 from repro.serving.registry import (
     SERVING_GROUP,
     DatasetRegistry,
     PublishResult,
 )
+from repro.serving.resilience import CircuitBreaker
 from repro.serving.snapshot import Snapshot
 
 QUERY_KINDS = ("full", "subspace", "kdominant", "topk", "explain")
@@ -246,6 +251,12 @@ class QueryResult:
     cached: bool = False
     queue_wait_seconds: float = 0.0
     service_seconds: float = 0.0
+    #: answer provenance under the degradation ladder: ``{"kind":
+    #: "fresh" | "stale" | "partial", "version": ..., ...}`` — ``stale``
+    #: while the writer is down (bounded-staleness snapshot),
+    #: ``partial`` on a post-recovery snapshot whose WAL replay dropped
+    #: a torn tail frame.  Computed per request, never cached.
+    certificate: Optional[Dict[str, Any]] = None
 
     @property
     def size(self) -> int:
@@ -284,6 +295,13 @@ class _Request:
     query: Optional[Query] = None
     mutation: Optional[Mutation] = None
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: execution attempts so far (a worker crash re-enqueues the
+    #: request; after ``max_requeues`` re-enqueues it is quarantined)
+    attempts: int = 0
+    #: stable per-class dequeue index — the identity the fault plan's
+    #: keyed draws hash, assigned at first dequeue and kept across
+    #: re-enqueues so a retried request re-draws by attempt number
+    op_index: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -293,10 +311,28 @@ class ServiceConfig:
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     #: result-cache capacity; 0 disables caching
     cache_entries: int = 512
+    #: seeded chaos schedule (worker crashes, cache corruption, queue
+    #: delays); None = no injection.  Writer crashes are injected by
+    #: the *registry's* plan — pass the same plan to both.
+    fault_plan: Optional[ServingFaultPlan] = None
+    #: on WriterDownError from a durable registry, replay the WAL and
+    #: resolve the mutation in place (exactly-once semantics)
+    auto_recover_writer: bool = True
+    #: per-dataset circuit breaker over mutations; 0 disables it
+    circuit_failure_threshold: int = 5
+    circuit_cooldown_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         if self.cache_entries < 0:
             raise ConfigurationError("cache_entries must be >= 0")
+        if self.circuit_failure_threshold < 0:
+            raise ConfigurationError(
+                "circuit_failure_threshold must be >= 0"
+            )
+        if self.circuit_cooldown_seconds < 0:
+            raise ConfigurationError(
+                "circuit_cooldown_seconds must be >= 0"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -325,7 +361,11 @@ class SkylineService:
             self.config.admission, metrics=metrics
         )
         self.cache: Optional[ResultCache] = (
-            ResultCache(self.config.cache_entries, metrics=metrics)
+            ResultCache(
+                self.config.cache_entries,
+                metrics=metrics,
+                fault_plan=self.config.fault_plan,
+            )
             if self.config.cache_entries
             else None
         )
@@ -334,17 +374,48 @@ class SkylineService:
             MUTATE: queue.Queue(),
         }
         self._workers: list = []
+        self._worker_serial = 0
         self._closed = False
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        #: per-class dequeue counters (fault-plan draw identities)
+        self._dequeues: Dict[str, int] = {READ: 0, MUTATE: 0}
+        self._dequeue_lock = threading.Lock()
         for klass in (READ, MUTATE):
-            for i in range(self.config.admission.concurrency(klass)):
-                worker = threading.Thread(
-                    target=self._worker_loop,
-                    args=(klass,),
-                    name=f"skyline-{klass}-{i}",
-                    daemon=True,
+            for _ in range(self.config.admission.concurrency(klass)):
+                self._spawn_worker(klass)
+
+    def _spawn_worker(self, klass: str) -> None:
+        self._worker_serial += 1
+        worker = threading.Thread(
+            target=self._worker_loop,
+            args=(klass,),
+            name=f"skyline-{klass}-{self._worker_serial}",
+            daemon=True,
+        )
+        worker.start()
+        self._workers.append((klass, worker))
+
+    def _breaker(self, dataset: str) -> Optional[CircuitBreaker]:
+        if self.config.circuit_failure_threshold == 0:
+            return None
+        with self._breaker_lock:
+            breaker = self._breakers.get(dataset)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    dataset,
+                    failure_threshold=self.config.circuit_failure_threshold,
+                    cooldown_seconds=self.config.circuit_cooldown_seconds,
+                    on_transition=self._on_breaker_transition,
                 )
-                worker.start()
-                self._workers.append((klass, worker))
+                self._breakers[dataset] = breaker
+            return breaker
+
+    def _on_breaker_transition(
+        self, dataset: str, old: str, new: str
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, f"circuit_{new}")
 
     # ------------------------------------------------------------------
     # public API
@@ -356,8 +427,10 @@ class SkylineService:
 
         Raises synchronously on invalid requests
         (:class:`ConfigurationError`), unknown datasets
-        (:class:`DatasetError`), and shed requests
-        (:class:`~repro.core.exceptions.OverloadedError`).
+        (:class:`DatasetError`), shed requests
+        (:class:`~repro.core.exceptions.OverloadedError`), and
+        mutations against a tripped breaker
+        (:class:`~repro.core.exceptions.CircuitOpenError`).
         """
         if self._closed:
             raise ConfigurationError("service is closed")
@@ -365,7 +438,25 @@ class SkylineService:
         # Fail fast on unknown datasets (before burning a queue slot).
         self.registry.snapshot(request.dataset)
         klass = READ if isinstance(request, Query) else MUTATE
-        ticket = self.admission.admit(klass, request.timeout_seconds)
+        if klass == MUTATE:
+            # The breaker gates *writes* only: reads degrade to the
+            # last published snapshot instead of failing (see the
+            # certificate on QueryResult).
+            breaker = self._breaker(request.dataset)
+            if breaker is not None:
+                try:
+                    breaker.allow()
+                except Exception:
+                    if self.metrics is not None:
+                        self.metrics.inc(SERVING_GROUP, "circuit_rejected")
+                    raise
+        try:
+            ticket = self.admission.admit(klass, request.timeout_seconds)
+        except BaseException:
+            if klass == MUTATE and self._breakers.get(request.dataset):
+                # allow() may have claimed the half-open probe slot.
+                self._breakers[request.dataset].abort_probe()
+            raise
         future: Future = Future()
         item = _Request(future=future, ticket=ticket)
         if klass == READ:
@@ -388,7 +479,13 @@ class SkylineService:
         return self.submit(request).result(timeout=timeout)
 
     def close(self) -> None:
-        """Drain workers and stop accepting requests (idempotent)."""
+        """Drain workers and stop accepting requests (idempotent).
+
+        Any request still queued behind the shutdown sentinels (e.g.
+        one re-enqueued by a worker crash that raced ``close``) has its
+        future failed rather than left hanging — every submitted future
+        resolves.
+        """
         if self._closed:
             return
         self._closed = True
@@ -396,6 +493,18 @@ class SkylineService:
             self._queues[klass].put(None)
         for _klass, worker in self._workers:
             worker.join(timeout=5.0)
+        for klass in (READ, MUTATE):
+            q = self._queues[klass]
+            while True:
+                try:
+                    item = q.get_nowait()
+                except queue.Empty:
+                    break
+                if item is None or item.future.done():
+                    continue
+                item.future.set_exception(
+                    ConfigurationError("service closed before execution")
+                )
 
     def __enter__(self) -> "SkylineService":
         return self
@@ -412,22 +521,86 @@ class SkylineService:
             item = q.get()
             if item is None:
                 return
+            plan = self.config.fault_plan
+            if plan is not None and plan.any_faults:
+                if item.op_index is None:
+                    with self._dequeue_lock:
+                        self._dequeues[klass] += 1
+                        item.op_index = self._dequeues[klass]
+                delay = plan.queue_delay(klass, item.op_index)
+                if delay > 0:
+                    if self.metrics is not None:
+                        self.metrics.inc(SERVING_GROUP, "injected_delays")
+                    sleep(delay)
+                attempt = item.attempts + 1
+                if plan.worker_crashes(klass, item.op_index, attempt):
+                    item.attempts = attempt
+                    self._worker_crashed(klass, item, plan)
+                    return  # this worker thread is dead
             self._handle(item)
+
+    def _worker_crashed(
+        self, klass: str, item: _Request, plan: ServingFaultPlan
+    ) -> None:
+        """An injected crash killed this worker mid-request: re-enqueue
+        the request (up to ``max_requeues`` times), then quarantine it
+        as a poison pill; either way a replacement worker is spawned
+        (the pool self-heals)."""
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, "worker_crashes")
+        if item.attempts <= plan.max_requeues:
+            if self.metrics is not None:
+                self.metrics.inc(SERVING_GROUP, "requeued")
+            self._queues[klass].put(item)
+        else:
+            # Poison pill: it has now crashed max_requeues + 1 workers.
+            self.admission.drop(item.ticket)
+            if klass == MUTATE and item.mutation is not None:
+                breaker = self._breakers.get(item.mutation.dataset)
+                if breaker is not None:
+                    breaker.record_failure()
+            item.future.set_exception(
+                QueryPoisonedError(
+                    f"request quarantined after crashing "
+                    f"{item.attempts} workers",
+                    attempts=item.attempts,
+                )
+            )
+        if not self._closed:
+            if self.metrics is not None:
+                self.metrics.inc(SERVING_GROUP, "worker_respawns")
+            self._spawn_worker(klass)
 
     def _handle(self, item: _Request) -> None:
         ticket = item.ticket
+        breaker = (
+            self._breakers.get(item.mutation.dataset)
+            if item.mutation is not None
+            else None
+        )
         if ticket.expired():
+            waited = monotonic() - ticket.admitted_at
             self.admission.expire(ticket)
+            if breaker is not None:
+                breaker.abort_probe()
             item.future.set_exception(
                 DeadlineExceededError(
                     f"{ticket.klass} request deadline passed after "
-                    f"{monotonic() - ticket.admitted_at:.3f}s in queue"
+                    f"{waited:.3f}s in queue",
+                    queue_wait_seconds=waited,
+                    queue_depth=self.admission.queued(ticket.klass),
+                    retry_after_seconds=(
+                        self.admission.retry_after_estimate(ticket.klass)
+                        or None
+                    ),
                 )
             )
             return
         self.admission.started(ticket)
         if not item.future.set_running_or_notify_cancel():
             self.admission.finished(ticket, ok=False)
+            if breaker is not None:
+                breaker.abort_probe()
             return
         ok = True
         try:
@@ -438,10 +611,19 @@ class SkylineService:
         except BaseException as exc:  # noqa: BLE001 — routed to caller
             ok = False
             self.admission.finished(ticket, ok=False)
+            if breaker is not None:
+                # Only server-side (retryable) failures feed the
+                # breaker; a bad request says nothing about health.
+                if is_retryable(exc):
+                    breaker.record_failure()
+                else:
+                    breaker.abort_probe()
             item.future.set_exception(exc)
             return
         if ok:
             self.admission.finished(ticket, ok=True)
+            if breaker is not None:
+                breaker.record_success()
             item.future.set_result(result)
 
     # ------------------------------------------------------------------
@@ -468,7 +650,12 @@ class SkylineService:
                     )
                 except DatasetError:
                     live_member = False
-            span.update(cached=cached, rows=int(payload.ids.shape[0]))
+            certificate = self._certificate(query.dataset, snapshot)
+            span.update(
+                cached=cached,
+                rows=int(payload.ids.shape[0]),
+                certificate=certificate["kind"],
+            )
             return QueryResult(
                 kind=query.kind,
                 dataset=query.dataset,
@@ -481,9 +668,42 @@ class SkylineService:
                 cached=cached,
                 queue_wait_seconds=ticket.queue_wait_seconds,
                 service_seconds=monotonic() - (ticket.started_at or 0.0),
+                certificate=certificate,
             )
         finally:
             span.finish()
+
+    def _certificate(
+        self, dataset: str, snapshot: Snapshot
+    ) -> Dict[str, Any]:
+        """Degradation-ladder certificate for an answer computed on
+        ``snapshot``: ``fresh`` (healthy writer) → ``stale`` (writer
+        down; answer is exact for the last published version) →
+        ``partial`` (post-recovery snapshot whose WAL replay dropped a
+        torn, unacknowledged tail batch)."""
+        status = self.registry.writer_status(dataset)
+        meta = snapshot.meta
+        if meta.get("dropped_tail"):
+            kind = "partial"
+        elif status["writer_down"]:
+            kind = "stale"
+        else:
+            kind = "fresh"
+        certificate: Dict[str, Any] = {
+            "kind": kind,
+            "version": snapshot.version,
+        }
+        if status["writer_down"]:
+            certificate["writer_down"] = True
+            certificate["pending_batches"] = status["pending_batches"]
+            certificate["published_version"] = status["published_version"]
+        if meta.get("recovered"):
+            certificate["recovered"] = True
+            if meta.get("dropped_tail"):
+                certificate["dropped_batches"] = meta["dropped_tail"]
+        if kind != "fresh" and self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, f"queries_{kind}")
+        return certificate
 
     def _payload_for(
         self, query: Query, snapshot: Snapshot
@@ -515,14 +735,10 @@ class SkylineService:
             dataset=mutation.dataset,
         )
         try:
-            if mutation.kind == "insert":
-                publish = self.registry.insert(
-                    mutation.dataset, mutation.points, mutation.ids
-                )
-            else:
-                publish = self.registry.delete(
-                    mutation.dataset, mutation.ids
-                )
+            try:
+                publish = self._apply_mutation(mutation)
+            except WriterDownError as exc:
+                publish = self._recover_writer(mutation, exc)
             span.update(
                 version=publish.version,
                 skyline=publish.skyline_size,
@@ -535,6 +751,39 @@ class SkylineService:
             )
         finally:
             span.finish()
+
+    def _apply_mutation(self, mutation: Mutation) -> PublishResult:
+        if mutation.kind == "insert":
+            return self.registry.insert(
+                mutation.dataset, mutation.points, mutation.ids
+            )
+        return self.registry.delete(mutation.dataset, mutation.ids)
+
+    def _recover_writer(
+        self, mutation: Mutation, exc: WriterDownError
+    ) -> PublishResult:
+        """Self-heal a crashed dataset writer, resolving ``mutation``
+        exactly once.
+
+        The typed error's ``applied`` field disambiguates: ``True`` —
+        the batch reached the durable WAL, so recovery's replay applies
+        it and the recovered publish *is* this mutation's outcome;
+        ``False`` — the batch was lost before the WAL, so after
+        recovery it is re-executed (it never took effect); ``None`` —
+        unknown, propagate and let the caller's retry policy decide.
+        """
+        if (
+            not self.config.auto_recover_writer
+            or not self.registry.durable
+            or exc.applied is None
+        ):
+            raise exc
+        recovered = self.registry.recover(mutation.dataset)
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, "writer_auto_recoveries")
+        if exc.applied:
+            return recovered
+        return self._apply_mutation(mutation)
 
 
 # ----------------------------------------------------------------------

@@ -17,8 +17,9 @@ small retention ring of recent versions for time-travel reads (see
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -51,6 +52,11 @@ class Snapshot:
     sky_points: np.ndarray
     sky_ids: np.ndarray
     sky_tree: ZBTree
+    #: provenance annotations (e.g. ``{"recovered": True, ...}`` on a
+    #: snapshot republished from WAL replay); never affects equality
+    meta: Dict[str, Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
     #: lazy id -> row-index map (built on first explain-by-id lookup)
     _row_index: Dict[int, int] = field(
         default_factory=dict, repr=False, compare=False
@@ -66,6 +72,7 @@ class Snapshot:
         ids: np.ndarray,
         sky_points: np.ndarray,
         sky_ids: np.ndarray,
+        meta: Optional[Dict[str, Any]] = None,
     ) -> "Snapshot":
         """Freeze the given state into a snapshot.
 
@@ -91,6 +98,7 @@ class Snapshot:
             sky_points=sky_points,
             sky_ids=sky_ids,
             sky_tree=tree,
+            meta=dict(meta or {}),
         )
 
     # ------------------------------------------------------------------
@@ -128,6 +136,34 @@ class Snapshot:
                 f"{self.dataset!r}@v{self.version}"
             )
         return self.points[row]
+
+    def state_digest(self) -> str:
+        """Canonical content digest of this version's logical state.
+
+        Hashes the alive set and the skyline *sorted by id* (plus the
+        version number), so two snapshots holding the same points under
+        the same ids digest identically regardless of the physical row
+        order their trees happened to produce — fold-built (Z-merge)
+        and bulk-built (``from_state``) maintainers may tie-break equal
+        Z-addresses differently.  This is the bit-identity oracle the
+        WAL recovery tests assert with.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(str(int(self.version)).encode())
+        for ids, points in (
+            (self.ids, self.points),
+            (self.sky_ids, self.sky_points),
+        ):
+            order = np.argsort(ids, kind="stable")
+            digest.update(
+                np.ascontiguousarray(ids[order], dtype=np.int64).tobytes()
+            )
+            digest.update(
+                np.ascontiguousarray(
+                    points[order], dtype=np.float64
+                ).tobytes()
+            )
+        return digest.hexdigest()
 
     def __repr__(self) -> str:
         return (

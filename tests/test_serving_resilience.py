@@ -1,0 +1,305 @@
+"""RetryPolicy / RetryBudget / CircuitBreaker under a fake clock."""
+
+import pytest
+
+from repro.core.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    DatasetError,
+    DeadlineExceededError,
+    OverloadedError,
+    QueryPoisonedError,
+    WriterDownError,
+    is_retryable,
+    retry_after_hint,
+)
+from repro.serving.resilience import CircuitBreaker, RetryBudget, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# typed error taxonomy
+# ----------------------------------------------------------------------
+class TestErrorTaxonomy:
+    def test_retryable_classification(self):
+        assert is_retryable(OverloadedError("full"))
+        assert is_retryable(WriterDownError("down"))
+        assert is_retryable(CircuitOpenError("open"))
+        assert not is_retryable(DeadlineExceededError("late"))
+        assert not is_retryable(QueryPoisonedError("poison"))
+        assert not is_retryable(DatasetError("bad"))
+        assert not is_retryable(ValueError("nope"))
+
+    def test_structured_overload_context(self):
+        exc = OverloadedError(
+            "shed", queue_depth=64, queue_limit=64, retry_after_seconds=0.5
+        )
+        assert exc.queue_depth == 64 and exc.queue_limit == 64
+        assert retry_after_hint(exc) == 0.5
+
+    def test_structured_deadline_context(self):
+        exc = DeadlineExceededError(
+            "late", queue_wait_seconds=1.5, queue_depth=9,
+            retry_after_seconds=0.25,
+        )
+        assert exc.queue_wait_seconds == 1.5
+        assert exc.queue_depth == 9
+        assert retry_after_hint(exc) == 0.25
+
+    def test_writer_down_applied_tristate(self):
+        assert WriterDownError("x", applied=True).applied is True
+        assert WriterDownError("x", applied=False).applied is False
+        assert WriterDownError("x").applied is None
+
+    def test_hint_defaults_none(self):
+        assert retry_after_hint(OverloadedError("shed")) is None
+        assert retry_after_hint(ValueError("x")) is None
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=3)
+        d1 = policy.delay(1, key=("ds", 7))
+        d2 = policy.delay(1, key=("ds", 7))
+        assert d1 == d2  # same seed + key -> same delay
+        assert 0.05 <= d1 <= 0.1  # within [base*(1-jitter), base]
+        assert policy.delay(1, key=("ds", 8)) != d1  # keys decorrelate
+
+    def test_retries_retryable_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OverloadedError("shed")
+            return "ok"
+
+        pauses = []
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01, seed=0)
+        result = policy.call(
+            flaky, sleep=pauses.append,
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert len(pauses) == 2
+
+    def test_terminal_error_not_retried(self):
+        calls = []
+
+        def poisoned():
+            calls.append(1)
+            raise QueryPoisonedError("bad")
+
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(QueryPoisonedError):
+            policy.call(poisoned, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_attempts_exhausted_raises_last(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise OverloadedError("shed")
+
+        with pytest.raises(OverloadedError):
+            policy.call(always, sleep=lambda s: None)
+        assert len(calls) == 3
+
+    def test_retry_after_hint_overrides_shorter_backoff(self):
+        pauses = []
+
+        def flaky():
+            if not pauses:
+                raise OverloadedError("shed", retry_after_seconds=0.9)
+            return "ok"
+
+        policy = RetryPolicy(base_delay=0.001, max_delay=0.01, seed=0)
+        policy.call(flaky, sleep=pauses.append)
+        assert pauses == [pytest.approx(0.9)]
+
+    def test_on_retry_callback_fires(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise WriterDownError("down")
+            return "ok"
+
+        policy = RetryPolicy(base_delay=0.0)
+        policy.call(
+            flaky,
+            sleep=lambda s: None,
+            on_retry=lambda attempt, exc, pause: seen.append(
+                (attempt, type(exc).__name__)
+            ),
+        )
+        assert seen == [(1, "WriterDownError")]
+
+    def test_empty_budget_turns_retryable_terminal(self):
+        budget = RetryBudget(capacity=1.0, refill_per_success=0.0)
+        policy = RetryPolicy(max_attempts=10, base_delay=0.0)
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise OverloadedError("shed")
+
+        with pytest.raises(OverloadedError):
+            policy.call(always, budget=budget, sleep=lambda s: None)
+        # 1 initial + 1 budgeted retry, then the bucket is empty
+        assert len(calls) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestRetryBudget:
+    def test_spend_and_refill(self):
+        budget = RetryBudget(capacity=2.0, refill_per_success=0.5)
+        assert budget.spend() and budget.spend()
+        assert not budget.spend()  # empty
+        budget.deposit()
+        assert budget.tokens == pytest.approx(0.5)
+        assert not budget.spend()  # still < 1 token
+        budget.deposit()
+        assert budget.spend()
+
+    def test_deposit_caps_at_capacity(self):
+        budget = RetryBudget(capacity=1.0, refill_per_success=5.0)
+        budget.deposit()
+        assert budget.tokens == pytest.approx(1.0)
+
+    def test_success_deposits_through_policy(self):
+        budget = RetryBudget(capacity=10.0, refill_per_success=0.5)
+        RetryPolicy().call(lambda: "ok", budget=budget)
+        assert budget.tokens == pytest.approx(10.0)  # capped
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryBudget(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, cooldown=10.0, transitions=None):
+        return CircuitBreaker(
+            "ds",
+            failure_threshold=threshold,
+            cooldown_seconds=cooldown,
+            clock=clock,
+            on_transition=(
+                None if transitions is None
+                else lambda ds, old, new: transitions.append((old, new))
+            ),
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = self._breaker(clock, transitions=transitions)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert transitions == [("closed", "open")]
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after_seconds == pytest.approx(10.0)
+        assert excinfo.value.failures == 3
+
+    def test_success_resets_consecutive_count(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_single_probe(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.allow()  # the probe gets through
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # the probe slot is taken
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow()
+        # a fresh cooldown from the re-open instant
+        assert excinfo.value.retry_after_seconds == pytest.approx(10.0)
+
+    def test_retry_after_counts_down(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after_seconds == pytest.approx(6.0)
+
+    def test_abort_probe_frees_slot(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.allow()
+        breaker.abort_probe()  # the probe never ran
+        breaker.allow()  # slot is free again
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("ds", failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker("ds", cooldown_seconds=-1.0)
