@@ -202,6 +202,36 @@ def build_parser() -> argparse.ArgumentParser:
              "requeues)",
     )
     serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve through a sharded scatter-gather router with N "
+             "Z-range shards (0 = single service)",
+    )
+    serve.add_argument(
+        "--shard-faults", default=None, metavar="SPEC",
+        help="shard-level chaos, merged into --faults, e.g. "
+             "'seed=7,crashshard=2:40,shardslow=0.05,heartbeat=0.1' "
+             "(keys: crashshard=SID:OP, terminal=SID+SID, shard, "
+             "shardslow, shardslowsec, heartbeat)",
+    )
+    serve.add_argument(
+        "--hedge-after-ms", type=float, default=50.0, metavar="MS",
+        help="duplicate a shard sub-query not answered within this "
+             "many milliseconds (0 disables hedging)",
+    )
+    serve.add_argument(
+        "--heartbeat-every", type=int, default=0, metavar="OPS",
+        help="router heartbeat round every OPS operations (0 = off)",
+    )
+    serve.add_argument(
+        "--min-availability", type=float, default=None, metavar="FRAC",
+        help="fail (exit 1) when workload availability drops below "
+             "this fraction",
+    )
+    serve.add_argument(
+        "--max-read-p99-ms", type=float, default=None, metavar="MS",
+        help="fail (exit 1) when read p99 latency exceeds this",
+    )
+    serve.add_argument(
         "--durability-dir", default=None, metavar="DIR",
         help="WAL + checkpoint directory (enables crash recovery; "
              "defaults to a temp dir when --faults injects writer "
@@ -449,8 +479,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         AdmissionConfig,
         DatasetRegistry,
         DriftPolicy,
+        RouterConfig,
         ServiceConfig,
         ServingFaultPlan,
+        ShardedSkylineService,
         SkylineService,
         WorkloadSpec,
         replay_workload,
@@ -465,37 +497,53 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else NULL_TRACER
     scratch: Optional[tempfile.TemporaryDirectory] = None
     try:
-        plan = (
-            ServingFaultPlan.parse(args.faults)
-            if args.faults is not None
-            else None
+        fault_spec = ",".join(
+            spec for spec in (args.faults, args.shard_faults) if spec
         )
+        plan = ServingFaultPlan.parse(fault_spec) if fault_spec else None
         durability_dir = args.durability_dir
-        if (
-            durability_dir is None
-            and plan is not None
-            and plan.writer_crash_rate > 0
+        if durability_dir is None and plan is not None and (
+            plan.writer_crash_rate > 0 or plan.any_shard_faults
         ):
-            # Injected writer crashes need a durable home to recover
-            # from; keep the artefacts out of the caller's cwd.
+            # Injected writer/shard crashes need a durable home to
+            # recover from; keep the artefacts out of the caller's cwd.
             scratch = tempfile.TemporaryDirectory(prefix="repro-wal-")
             durability_dir = scratch.name
-        registry = DatasetRegistry(
-            metrics=metrics,
-            durability_dir=durability_dir,
-            fault_plan=plan,
-        )
-        registry.register_dataset(
-            "bench",
-            dataset,
-            bits_per_dim=args.bits,
-            drift=DriftPolicy.bounded(max_deletes=args.max_deletes),
-        )
+        drift = DriftPolicy.bounded(max_deletes=args.max_deletes)
         config = ServiceConfig(
             admission=AdmissionConfig(read_concurrency=args.workers),
             cache_entries=args.cache_size,
             fault_plan=plan,
         )
+        if args.shards > 0:
+            service_cm = ShardedSkylineService.from_dataset(
+                "bench",
+                dataset,
+                bits_per_dim=args.bits,
+                config=RouterConfig(
+                    num_shards=args.shards,
+                    hedge_after_seconds=args.hedge_after_ms / 1e3,
+                    heartbeat_every_ops=args.heartbeat_every,
+                    service_config=config,
+                ),
+                metrics=metrics,
+                durability_dir=durability_dir,
+                fault_plan=plan,
+                drift=drift,
+                tracer=tracer,
+            )
+        else:
+            registry = DatasetRegistry(
+                metrics=metrics,
+                durability_dir=durability_dir,
+                fault_plan=plan,
+            )
+            registry.register_dataset(
+                "bench", dataset, bits_per_dim=args.bits, drift=drift,
+            )
+            service_cm = SkylineService(
+                registry, config=config, metrics=metrics, tracer=tracer
+            )
         spec = WorkloadSpec(
             dataset="bench",
             operations=args.ops,
@@ -511,12 +559,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return 2
     if plan is not None:
         print(f"faults    : {plan.describe()}")
+    if args.shards > 0:
+        print(f"shards    : {service_cm.num_shards}")
     try:
-        with SkylineService(
-            registry, config=config, metrics=metrics, tracer=tracer
-        ) as service:
+        with service_cm as service:
             report = replay_workload(service, spec)
-            stats = service.admission.stats()
+            if args.shards > 0:
+                stats = {}
+                shard_states = service.shard_states()
+            else:
+                stats = service.admission.stats()
+                shard_states = None
     finally:
         if scratch is not None:
             scratch.cleanup()
@@ -544,7 +597,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         for counter in (
             "worker_crashes", "worker_respawns", "requeued",
             "writer_crashes", "writer_auto_recoveries",
-            "cache_corruption_detected",
+            "cache_corrupt", "shard_crashes", "shard_failovers",
+            "shard_failover_identical", "shard_failover_divergent",
+            "shard_queries_partial", "hedged_subqueries", "hedge_wins",
+            "heartbeat_lost", "mutations_rejected_shard_down",
         ):
             value = metrics.counter("serving", counter)
             if value:
@@ -569,6 +625,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{klass + ' admission':20s}: {s['admitted']} admitted, "
             f"{s['rejected']} rejected, {s['expired']} expired"
         )
+    if shard_states is not None:
+        for sid, state in sorted(shard_states.items()):
+            print(
+                f"{'shard ' + str(sid):20s}: "
+                f"{'down' if state['down'] else 'up'} "
+                f"breaker={state['breaker']} "
+                f"failovers={state['failovers']} "
+                f"identical={state['last_failover_identical']}"
+            )
     if args.trace_out:
         count = tracer.export_jsonl(args.trace_out)
         print(f"{'trace':20s}: wrote {count} spans to {args.trace_out}")
@@ -577,7 +642,29 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(
             f"{'metrics':20s}: wrote {count} records to {args.metrics_out}"
         )
-    return 0
+    # SLO gates: a CI job (or operator) asserting the run with the
+    # exit code rather than by parsing stdout.
+    exit_code = 0
+    if (
+        args.min_availability is not None
+        and report.availability < args.min_availability
+    ):
+        print(
+            f"GATE FAILED: availability {report.availability:.4f} < "
+            f"{args.min_availability:.4f}",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if args.max_read_p99_ms is not None:
+        read_p99_ms = report.latency_percentiles("read")["p99"] * 1e3
+        if read_p99_ms > args.max_read_p99_ms:
+            print(
+                f"GATE FAILED: read p99 {read_p99_ms:.2f}ms > "
+                f"{args.max_read_p99_ms:.2f}ms",
+                file=sys.stderr,
+            )
+            exit_code = 1
+    return exit_code
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -159,6 +159,36 @@ class CircuitOpenError(ServingError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class ShardDownError(ServingError):
+    """A shard of a sharded dataset is down and could not be failed
+    over in time.
+
+    Reads route around a down shard (the router answers with a
+    certified partial skyline); mutations that must touch it fail with
+    this error.  ``terminal`` distinguishes a shard inside its
+    failover-retry budget (a retry after ``retry_after_seconds`` will
+    hit the WAL-recovered replacement) from one that has exhausted it
+    (the router is in a permanent certified-partial regime for that
+    shard; retrying cannot help).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        dataset: Optional[str] = None,
+        shard: Optional[int] = None,
+        terminal: bool = False,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.dataset = dataset
+        self.shard = shard
+        self.terminal = terminal
+        self.retryable = not terminal
+        self.retry_after_seconds = retry_after_seconds
+
+
 class QueryPoisonedError(ServingError):
     """The request crashed its worker on every allowed attempt and was
     quarantined (a "poison pill") instead of being re-enqueued forever."""

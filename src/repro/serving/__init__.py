@@ -19,6 +19,15 @@ inject worker/writer crashes, cache corruption, and queue delays
 deterministically, and :mod:`repro.serving.resilience` provides the
 client-side retry policy, retry budget, and per-dataset circuit
 breaker.
+
+On top of the single service sits the sharded tier: a
+:class:`~repro.serving.shard.ShardMap` assigns Z-address ranges to
+shards, :class:`~repro.serving.router.ShardedSkylineService`
+scatter-gathers queries across per-shard services (coordinator-side
+Z-merge, hedged sub-queries, WAL-backed failover, certified partial
+answers when shards are lost), and a
+:class:`~repro.serving.health.HealthMonitor` heartbeats shards into
+per-shard circuit breakers.
 """
 
 from repro.serving.admission import (
@@ -34,6 +43,7 @@ from repro.serving.client import (
     replay_workload,
 )
 from repro.serving.faults import ServingFaultPlan
+from repro.serving.health import HealthMonitor
 from repro.serving.registry import (
     DatasetRegistry,
     DriftPolicy,
@@ -45,6 +55,7 @@ from repro.serving.resilience import (
     RetryBudget,
     RetryPolicy,
 )
+from repro.serving.router import RouterConfig, ShardedSkylineService
 from repro.serving.service import (
     Mutation,
     MutationResult,
@@ -52,6 +63,11 @@ from repro.serving.service import (
     QueryResult,
     ServiceConfig,
     SkylineService,
+)
+from repro.serving.shard import (
+    ShardMap,
+    floor_dominated_mask,
+    floor_k_dominated_mask,
 )
 from repro.serving.snapshot import Snapshot
 from repro.serving.wal import DatasetStore, MutationWAL, WalRecord
@@ -63,6 +79,7 @@ __all__ = [
     "DatasetRegistry",
     "DatasetStore",
     "DriftPolicy",
+    "HealthMonitor",
     "Mutation",
     "MutationResult",
     "MutationWAL",
@@ -74,13 +91,18 @@ __all__ = [
     "ResultCache",
     "RetryBudget",
     "RetryPolicy",
+    "RouterConfig",
     "ServiceConfig",
     "ServingFaultPlan",
+    "ShardMap",
+    "ShardedSkylineService",
     "SkylineClient",
     "SkylineService",
     "Snapshot",
     "Ticket",
     "WalRecord",
     "WorkloadSpec",
+    "floor_dominated_mask",
+    "floor_k_dominated_mask",
     "replay_workload",
 ]

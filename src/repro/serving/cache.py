@@ -13,10 +13,12 @@ numpy arrays), so handing the same object to many readers is safe.
 its array contents at store time; every hit re-verifies the CRC before
 the payload is returned.  A mismatch — a bit flip in cache memory, or
 one injected by a :class:`~repro.serving.faults.ServingFaultPlan` — is
-*detected*, the entry is evicted, and the lookup reports a miss, so the
-service recomputes from the authoritative snapshot instead of serving
-a wrong answer.  Detection events land in
-``serving.cache_corruption_detected``.
+*detected*, the entry is evicted, and the lookup reports a non-hit, so
+the service recomputes from the authoritative snapshot instead of
+serving a wrong data.  Detection events are counted *separately* from
+cold misses — ``serving.cache_corrupt`` (and the legacy
+``serving.cache_corruption_detected`` alias) vs ``serving.cache_misses``
+— so a chaos run can tell corruption from an empty cache at a glance.
 
 Hits, misses, and evictions flow into the shared
 :class:`~repro.observability.metrics.MetricsRegistry` under the
@@ -124,7 +126,10 @@ class ResultCache:
         """``(hit, value)``; a hit moves the entry to the MRU end.
 
         A stored CRC that no longer matches the payload is a detected
-        corruption: the entry is evicted and the lookup is a miss.
+        corruption: the entry is evicted and the lookup reports no hit
+        (the caller recomputes), but it is counted under the dedicated
+        corrupt counter — *not* as a cold miss — so chaos runs can
+        distinguish flipped bits from an empty cache.
         """
         corrupted = False
         with self._lock:
@@ -134,7 +139,6 @@ class ResultCache:
                 if crc is not None and payload_crc(value) != crc:
                     del self._entries[key]
                     self._corruptions_detected += 1
-                    self._misses += 1
                     corrupted = True
                     value, hit = None, False
                 else:
@@ -145,11 +149,14 @@ class ResultCache:
                 self._misses += 1
                 value, hit = None, False
         if self.metrics is not None:
-            self.metrics.inc(
-                SERVING_GROUP, "cache_hits" if hit else "cache_misses"
-            )
             if corrupted:
+                self.metrics.inc(SERVING_GROUP, "cache_corrupt")
+                # legacy alias, kept for dashboards built on PR 6
                 self.metrics.inc(SERVING_GROUP, "cache_corruption_detected")
+            else:
+                self.metrics.inc(
+                    SERVING_GROUP, "cache_hits" if hit else "cache_misses"
+                )
         return hit, value
 
     def store(self, key: CacheKey, value: Any) -> None:

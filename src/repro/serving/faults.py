@@ -16,7 +16,17 @@ actually sees:
   place; the cache's CRC guard detects it at lookup and recomputes
   instead of serving wrong data;
 * **queue latency** — an injected scheduling delay before a request is
-  handled (a GC pause, a noisy neighbour).
+  handled (a GC pause, a noisy neighbour);
+* **shard crashes** — a whole shard process dies (registry + service),
+  drawn per ``(shard, router op index)`` or scripted at an exact op;
+  the router fails over to a WAL-recovered replacement, or serves
+  certified partial answers when the shard is *terminal* (recovery
+  always fails — a lost disk);
+* **shard slowness** — one sub-query straggles past the router's hedge
+  threshold, triggering a duplicate hedged sub-query;
+* **heartbeat loss** — a health probe response is dropped even though
+  the shard is up (a network blip), feeding the per-shard circuit
+  breaker with a false positive.
 
 Every decision is a keyed draw (:func:`~repro.mapreduce.faults.keyed_draw`
 — BLAKE2 of ``(seed, kind, ...identity)``), so the same plan produces
@@ -74,6 +84,27 @@ class ServingFaultPlan:
         Exact schedules for tests: ``{(dataset, seq): phase}`` forces
         the writer crash for that WAL sequence number, independent of
         ``writer_crash_rate``.
+    shard_crash_rate:
+        Probability that serving one router operation kills a shard it
+        touches (drawn per ``(shard, op index, incarnation)``; the
+        incarnation keying means a recovered shard re-draws instead of
+        dying again deterministically).
+    scripted_shard_crashes:
+        Exact schedules for tests: ``{shard_id: op_index}`` kills that
+        shard when the router's operation counter reaches ``op_index``
+        (incarnation 0 only — crash once, then let the recovered shard
+        live).
+    terminal_shards:
+        Shards whose recovery *always* fails (a lost disk): every
+        failover attempt burns retry budget until the router gives the
+        shard up for dead and serves certified partial answers.
+    shard_slow_rate / shard_slow_seconds:
+        Probability that one sub-query to a shard straggles by
+        ``shard_slow_seconds`` (drawn per ``(shard, op index)``),
+        tripping the router's hedge threshold.
+    heartbeat_loss_rate:
+        Probability that one health probe's response is dropped even
+        though the shard is healthy (drawn per ``(shard, tick)``).
     """
 
     seed: int = 0
@@ -86,6 +117,14 @@ class ServingFaultPlan:
     scripted_writer_crashes: Mapping[Tuple[str, int], str] = field(
         default_factory=dict
     )
+    shard_crash_rate: float = 0.0
+    scripted_shard_crashes: Mapping[int, int] = field(
+        default_factory=dict
+    )
+    terminal_shards: Tuple[int, ...] = ()
+    shard_slow_rate: float = 0.0
+    shard_slow_seconds: float = 0.05
+    heartbeat_loss_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -93,6 +132,9 @@ class ServingFaultPlan:
             "writer_crash_rate",
             "cache_corruption_rate",
             "queue_delay_rate",
+            "shard_crash_rate",
+            "shard_slow_rate",
+            "heartbeat_loss_rate",
         ):
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
@@ -101,8 +143,18 @@ class ServingFaultPlan:
                 )
         if self.queue_delay_seconds < 0:
             raise ConfigurationError("queue_delay_seconds must be >= 0")
+        if self.shard_slow_seconds < 0:
+            raise ConfigurationError("shard_slow_seconds must be >= 0")
         if self.max_requeues < 0:
             raise ConfigurationError("max_requeues must be >= 0")
+        for sid, op_index in self.scripted_shard_crashes.items():
+            if int(sid) < 0 or int(op_index) < 0:
+                raise ConfigurationError(
+                    "scripted shard crashes need non-negative shard ids "
+                    f"and op indices; got {{{sid}: {op_index}}}"
+                )
+        if any(int(sid) < 0 for sid in self.terminal_shards):
+            raise ConfigurationError("terminal shard ids must be >= 0")
         for (dataset, seq), phase in self.scripted_writer_crashes.items():
             if phase not in WRITER_PHASES:
                 raise ConfigurationError(
@@ -118,6 +170,17 @@ class ServingFaultPlan:
             or self.cache_corruption_rate
             or self.queue_delay_rate
             or self.scripted_writer_crashes
+            or self.any_shard_faults
+        )
+
+    @property
+    def any_shard_faults(self) -> bool:
+        return bool(
+            self.shard_crash_rate
+            or self.scripted_shard_crashes
+            or self.terminal_shards
+            or self.shard_slow_rate
+            or self.heartbeat_loss_rate
         )
 
     # ------------------------------------------------------------------
@@ -185,6 +248,59 @@ class ServingFaultPlan:
         return 0.0
 
     # ------------------------------------------------------------------
+    # shard fault kinds (drawn by the router, not the shard services)
+    # ------------------------------------------------------------------
+    def shard_crashes(
+        self, shard: int, op_index: int, incarnation: int = 0
+    ) -> bool:
+        """Does serving router operation ``op_index`` kill ``shard``?
+
+        ``incarnation`` is the shard's failover count; keying the draw
+        on it means a shard that crashed and recovered re-draws instead
+        of dying again at its very next operation.  Scripted crashes
+        fire on incarnation 0 only.
+        """
+        if incarnation == 0:
+            scripted = self.scripted_shard_crashes.get(int(shard))
+            if scripted is not None and int(scripted) == int(op_index):
+                return True
+        if self.shard_crash_rate <= 0.0:
+            return False
+        return (
+            keyed_draw(
+                self.seed, "svc-shard", int(shard), int(op_index),
+                int(incarnation),
+            )
+            < self.shard_crash_rate
+        )
+
+    def shard_terminal(self, shard: int) -> bool:
+        """Is ``shard`` beyond recovery (every failover attempt fails)?"""
+        return int(shard) in {int(s) for s in self.terminal_shards}
+
+    def shard_slow(self, shard: int, op_index: int) -> float:
+        """Injected straggle (seconds) for this sub-query; 0.0 almost
+        always.  A non-zero value is the router's cue to hedge."""
+        if self.shard_slow_rate <= 0.0 or self.shard_slow_seconds <= 0.0:
+            return 0.0
+        if (
+            keyed_draw(self.seed, "svc-shard-slow", int(shard), int(op_index))
+            < self.shard_slow_rate
+        ):
+            return self.shard_slow_seconds
+        return 0.0
+
+    def heartbeat_lost(self, shard: int, tick: int) -> bool:
+        """Is the ``tick``-th health probe of ``shard`` dropped in
+        flight (a false positive: the shard is actually up)?"""
+        if self.heartbeat_loss_rate <= 0.0:
+            return False
+        return (
+            keyed_draw(self.seed, "svc-heartbeat", int(shard), int(tick))
+            < self.heartbeat_loss_rate
+        )
+
+    # ------------------------------------------------------------------
     # CLI spec parsing (mirrors FaultPlan.parse)
     # ------------------------------------------------------------------
     _SPEC_KEYS = {
@@ -195,6 +311,10 @@ class ServingFaultPlan:
         "delay": ("queue_delay_rate", float),
         "delaysec": ("queue_delay_seconds", float),
         "requeues": ("max_requeues", int),
+        "shard": ("shard_crash_rate", float),
+        "shardslow": ("shard_slow_rate", float),
+        "shardslowsec": ("shard_slow_seconds", float),
+        "heartbeat": ("heartbeat_loss_rate", float),
     }
 
     @classmethod
@@ -203,7 +323,11 @@ class ServingFaultPlan:
 
         Keys: ``seed``, ``worker`` (crash rate), ``writer`` (crash
         rate), ``cache`` (corruption rate), ``delay`` (rate),
-        ``delaysec`` (magnitude), ``requeues``.
+        ``delaysec`` (magnitude), ``requeues``, ``shard`` (crash
+        rate), ``shardslow`` (rate), ``shardslowsec`` (magnitude),
+        ``heartbeat`` (loss rate), ``crashshard`` (scripted:
+        ``SID:OP`` entries joined by ``+``), ``terminal`` (shard ids
+        joined by ``+``).
         """
         kwargs: Dict[str, object] = {}
         for token in spec.split(","):
@@ -216,26 +340,57 @@ class ServingFaultPlan:
                 )
             key, _, raw = token.partition("=")
             key = key.strip().lower()
-            if key not in cls._SPEC_KEYS:
-                raise ConfigurationError(
-                    f"unknown serving fault spec key {key!r}; "
-                    f"choose from {sorted(cls._SPEC_KEYS)}"
-                )
-            attr, cast = cls._SPEC_KEYS[key]
+            raw = raw.strip()
             try:
-                kwargs[attr] = cast(raw.strip())
+                if key == "crashshard":
+                    scripted: Dict[int, int] = {}
+                    for entry in raw.split("+"):
+                        sid, _, op = entry.partition(":")
+                        scripted[int(sid)] = int(op)
+                    kwargs["scripted_shard_crashes"] = scripted
+                    continue
+                if key == "terminal":
+                    kwargs["terminal_shards"] = tuple(
+                        int(s) for s in raw.split("+")
+                    )
+                    continue
+                if key not in cls._SPEC_KEYS:
+                    raise ConfigurationError(
+                        f"unknown serving fault spec key {key!r}; choose "
+                        f"from {sorted(cls._SPEC_KEYS) + ['crashshard', 'terminal']}"
+                    )
+                attr, cast = cls._SPEC_KEYS[key]
+                kwargs[attr] = cast(raw)
             except ValueError as exc:
                 raise ConfigurationError(
-                    f"bad value {raw.strip()!r} for fault spec key {key!r}"
+                    f"bad value {raw!r} for fault spec key {key!r}"
                 ) from exc
         return cls(**kwargs)  # type: ignore[arg-type]
 
     def describe(self) -> str:
         """Compact one-line summary (CLI/report headers)."""
-        return (
+        text = (
             f"seed={self.seed} worker={self.worker_crash_rate} "
             f"writer={self.writer_crash_rate} "
             f"cache={self.cache_corruption_rate} "
             f"delay={self.queue_delay_rate}@{self.queue_delay_seconds}s "
             f"requeues={self.max_requeues}"
         )
+        if self.any_shard_faults:
+            text += (
+                f" shard={self.shard_crash_rate} "
+                f"shardslow={self.shard_slow_rate}"
+                f"@{self.shard_slow_seconds}s "
+                f"heartbeat={self.heartbeat_loss_rate}"
+            )
+            if self.scripted_shard_crashes:
+                scripted = "+".join(
+                    f"{sid}:{op}"
+                    for sid, op in sorted(self.scripted_shard_crashes.items())
+                )
+                text += f" crashshard={scripted}"
+            if self.terminal_shards:
+                text += " terminal=" + "+".join(
+                    str(s) for s in sorted(self.terminal_shards)
+                )
+        return text

@@ -1,0 +1,179 @@
+"""Shard health checks: heartbeat probes feeding circuit breakers.
+
+A sharded router must not discover a dead shard by timing out a user's
+query against it.  The :class:`HealthMonitor` probes every shard's
+serving path out-of-band — a :meth:`~repro.serving.service.SkylineService.ping`
+that touches the same snapshot machinery a real query would — and
+feeds the outcome into the shard's
+:class:`~repro.serving.resilience.CircuitBreaker`.  A shard that stops
+answering heartbeats has its breaker opened *before* user traffic
+piles up on it; the router then serves certified partial answers for
+that shard's Z-region and starts failover.
+
+Determinism: heartbeats can be *lost* (the network ate the probe, not
+the shard) via the fault plan's seeded
+:meth:`~repro.serving.faults.ServingFaultPlan.heartbeat_lost` draw,
+keyed by a monotone tick counter — so a seeded chaos run sees the same
+false-positive breaker trips every time.  A false positive self-heals:
+the next successful probe (or real sub-query let through as the
+half-open probe) closes the breaker again.
+
+The monitor is driven two ways:
+
+* **manual** — the router calls :meth:`tick` inline every
+  ``heartbeat_every_ops`` operations.  Fully deterministic; what the
+  chaos tests and benchmarks use.
+* **background** — :meth:`start` spawns a daemon thread ticking every
+  ``interval_seconds``.  For long-lived deployments; tests keep it off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.core.exceptions import ConfigurationError
+from repro.observability.metrics import MetricsRegistry
+from repro.serving.faults import ServingFaultPlan
+from repro.serving.registry import SERVING_GROUP
+from repro.serving.resilience import CircuitBreaker
+
+__all__ = ["HealthMonitor"]
+
+
+class HealthMonitor:
+    """Probes shard serving paths and reflects outcomes into breakers.
+
+    ``probe(sid)`` must exercise the shard's read path and return its
+    current snapshot version (raising on failure); the router passes a
+    closure over its live shard table so failovers are picked up
+    automatically.  ``breakers`` maps shard id → breaker and is shared
+    with the router: one breaker per shard *slot*, surviving failover,
+    so a recovered shard closes the same breaker its crash opened.
+    """
+
+    def __init__(
+        self,
+        dataset: str,
+        probe: Callable[[int], int],
+        breakers: Mapping[int, CircuitBreaker],
+        fault_plan: Optional[ServingFaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        interval_seconds: float = 0.05,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ConfigurationError("interval_seconds must be positive")
+        self.dataset = dataset
+        self.probe = probe
+        self.breakers = breakers
+        self.fault_plan = fault_plan
+        self.metrics = metrics
+        self.interval_seconds = interval_seconds
+        self._lock = threading.Lock()
+        self._tick = 0
+        self._last_version: Dict[int, int] = {}
+        self._consecutive_misses: Dict[int, int] = {
+            sid: 0 for sid in breakers
+        }
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def tick(self) -> Dict[int, bool]:
+        """Probe every shard once; returns ``{sid: healthy}``.
+
+        A lost heartbeat (seeded draw) or a raising probe counts as a
+        breaker failure; a successful probe resets the breaker.  Probes
+        do not consume the half-open probe slot — they report *into*
+        the breaker, they are not gated *by* it (an open breaker is
+        exactly when probing matters most).
+        """
+        with self._lock:
+            self._tick += 1
+            tick = self._tick
+        healthy: Dict[int, bool] = {}
+        for sid in sorted(self.breakers):
+            breaker = self.breakers[sid]
+            lost = (
+                self.fault_plan is not None
+                and self.fault_plan.heartbeat_lost(sid, tick)
+            )
+            if lost:
+                ok = False
+                self._count("heartbeat_lost")
+            else:
+                try:
+                    version = self.probe(sid)
+                except BaseException:  # noqa: BLE001 — any failure opens
+                    ok = False
+                else:
+                    ok = True
+                    with self._lock:
+                        self._last_version[sid] = int(version)
+            healthy[sid] = ok
+            with self._lock:
+                self._consecutive_misses[sid] = (
+                    0 if ok else self._consecutive_misses.get(sid, 0) + 1
+                )
+            if ok:
+                breaker.record_success()
+                self._count("heartbeat_ok")
+            else:
+                breaker.record_failure()
+                self._count("heartbeat_failed")
+        return healthy
+
+    @property
+    def ticks(self) -> int:
+        with self._lock:
+            return self._tick
+
+    def status(self) -> Dict[int, dict]:
+        """Point-in-time health table (breaker state + last seen
+        version + consecutive missed probes) per shard."""
+        out: Dict[int, dict] = {}
+        for sid in sorted(self.breakers):
+            with self._lock:
+                out[sid] = {
+                    "state": self.breakers[sid].state,
+                    "last_version": self._last_version.get(sid),
+                    "consecutive_misses": self._consecutive_misses.get(
+                        sid, 0
+                    ),
+                }
+        return out
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(SERVING_GROUP, name)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the background probe thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name=f"health-{self.dataset}", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.tick()
+
+    def __repr__(self) -> str:
+        return (
+            f"HealthMonitor({self.dataset!r}, ticks={self.ticks}, "
+            f"shards={sorted(self.breakers)})"
+        )

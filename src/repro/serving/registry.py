@@ -421,6 +421,54 @@ class DatasetRegistry:
     # ------------------------------------------------------------------
     # recovery
     # ------------------------------------------------------------------
+    def adopt(
+        self,
+        name: str,
+        drift: Optional[DriftPolicy] = None,
+        rebuild: Optional[RebuildConfig] = None,
+    ) -> PublishResult:
+        """Cold-start ``name`` from its durable home (checkpoint + WAL).
+
+        :meth:`recover` heals a writer *within* a live registry; adopt
+        is for when the whole owning process died — a fresh registry
+        (pointed at the same ``durability_dir``) takes the dataset over
+        by loading the checkpoint, replaying the WAL, and publishing the
+        same bit-identical snapshot recovery would have.  This is what
+        shard failover uses to stand up a replacement shard.
+        """
+        if not self.durable:
+            raise ConfigurationError(
+                "adopt() requires DatasetRegistry(durability_dir=...)"
+            )
+        store = DatasetStore(self.durability_dir, name)
+        baseline = store.load_checkpoint()
+        if baseline is None:
+            raise ConfigurationError(
+                f"dataset {name!r} has no durable checkpoint to adopt"
+            )
+        state = _DatasetState(
+            name,
+            baseline.codec,
+            None,  # recover() rebuilds the maintainer from the baseline
+            drift or DriftPolicy.bounded(),
+            rebuild or RebuildConfig(),
+            self._keep_versions,
+        )
+        state.store = store
+        state.writer_down = True
+        with self._lock:
+            if name in self._states:
+                raise ConfigurationError(
+                    f"dataset {name!r} is already registered"
+                )
+            self._states[name] = state
+        try:
+            return self.recover(name)
+        except BaseException:
+            with self._lock:
+                self._states.pop(name, None)
+            raise
+
     def recover(self, name: str) -> PublishResult:
         """Replay WAL-onto-last-durable-checkpoint and republish.
 
@@ -457,9 +505,23 @@ class DatasetRegistry:
             replay = state.store.wal.replay()
             version = baseline.version
             replayed = 0
+            expected = baseline.seq
             for record in replay.records:
                 if record.seq <= baseline.seq:
                     continue
+                if record.seq != expected + 1:
+                    # The WAL itself is contiguous (replay() checks),
+                    # so a gap here means the log lost its head across
+                    # the checkpoint/rotation boundary — an
+                    # acknowledged batch would vanish silently if we
+                    # replayed past it.
+                    raise ConfigurationError(
+                        f"dataset {name!r}: WAL resumes at seq "
+                        f"{record.seq} but the checkpoint ends at seq "
+                        f"{baseline.seq}; refusing to recover across a "
+                        "sequence gap at the rotation point"
+                    )
+                expected = record.seq
                 if record.op == "insert":
                     maintainer.insert_block(
                         np.asarray(record.points, dtype=np.float64),

@@ -282,6 +282,18 @@ class CircuitBreaker:
                 self._transition(self.CLOSED)
                 self._opened_at = None
 
+    def trip(self) -> None:
+        """Force the breaker open immediately (a *known* hard failure —
+        e.g. the router just watched a shard die — rather than one
+        inferred from consecutive errors).  The cooldown starts now."""
+        with self._lock:
+            self._consecutive_failures = max(
+                self._consecutive_failures + 1, self.failure_threshold
+            )
+            self._probe_in_flight = False
+            self._transition(self.OPEN)
+            self._opened_at = self._clock()
+
     def record_failure(self) -> None:
         with self._lock:
             self._consecutive_failures += 1

@@ -472,6 +472,14 @@ class SkylineService:
         """Submit a read and wait for its answer."""
         return self.submit(request).result(timeout=timeout)
 
+    def ping(self, dataset: str) -> int:
+        """Cheap liveness probe: the service accepts work and the
+        dataset's current snapshot is readable.  Returns the published
+        version (what a health monitor wants to record)."""
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        return self.registry.snapshot(dataset).version
+
     def mutate(
         self, request: Mutation, timeout: Optional[float] = None
     ) -> MutationResult:
@@ -892,3 +900,16 @@ _EXECUTORS = {
     "topk": _exec_topk,
     "explain": _exec_explain,
 }
+
+
+def execute_on_snapshot(query: Query, snapshot: Snapshot) -> _Payload:
+    """Run a query's executor directly against a pinned snapshot.
+
+    This is the service's own compute path minus queues, cache, and
+    certificates — a pure function of ``(query, snapshot)`` producing
+    the identical canonical payload.  The shard router uses it to
+    recompute a sub-answer against a version-vector-pinned snapshot
+    when a shard's live answer arrived at a different version.
+    """
+    query.validate()
+    return _EXECUTORS[query.kind](query, snapshot)

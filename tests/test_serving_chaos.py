@@ -177,8 +177,19 @@ class TestChaosHammer:
         assert not second.cached
         np.testing.assert_array_equal(first.ids, second.ids)
         np.testing.assert_array_equal(first.points, second.points)
-        assert metrics.counter("serving", "cache_corruption_detected") >= 1
+        assert metrics.counter("serving", "cache_corrupt") >= 1
+        assert metrics.counter("serving", "cache_corrupt") == (
+            metrics.counter("serving", "cache_corruption_detected")
+        )  # legacy alias stays in lockstep
         assert service.cache.corruptions_detected >= 1
+        # a detected corruption is its own outcome, not a cold miss:
+        # the dedicated counter must not leak into the miss accounting
+        assert metrics.counter("serving", "cache_misses") == (
+            service.cache.misses
+        )
+        assert service.cache.corruptions_detected == (
+            metrics.counter("serving", "cache_corrupt")
+        )
 
     def test_poison_query_is_quarantined(self, tmp_path):
         # worker_crash_rate=1: every handling attempt kills its worker

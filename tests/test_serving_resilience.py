@@ -1,6 +1,8 @@
 """RetryPolicy / RetryBudget / CircuitBreaker under a fake clock."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.exceptions import (
     CircuitOpenError,
@@ -303,3 +305,82 @@ class TestCircuitBreaker:
             CircuitBreaker("ds", failure_threshold=0)
         with pytest.raises(ConfigurationError):
             CircuitBreaker("ds", cooldown_seconds=-1.0)
+
+
+# ----------------------------------------------------------------------
+# half-open probe slot under concurrent hammering
+# ----------------------------------------------------------------------
+class TestCircuitBreakerConcurrency:
+    """The half-open probe slot is a mutex, not a hint: no matter how
+    many threads race ``allow()``, exactly one is the probe."""
+
+    def _hammer(self, breaker, threads):
+        import threading
+
+        barrier = threading.Barrier(threads)
+        outcomes = []
+        lock = threading.Lock()
+
+        def slam():
+            barrier.wait()
+            try:
+                breaker.allow()
+            except CircuitOpenError:
+                admitted = False
+            else:
+                admitted = True
+            with lock:
+                outcomes.append(admitted)
+
+        workers = [
+            threading.Thread(target=slam) for _ in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        return outcomes
+
+    @given(
+        threads=st.integers(min_value=2, max_value=12),
+        threshold=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_half_open_admits_exactly_one_probe(self, threads, threshold):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "ds",
+            failure_threshold=threshold,
+            cooldown_seconds=10.0,
+            clock=clock,
+        )
+        for _ in range(threshold):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+        outcomes = self._hammer(breaker, threads)
+        assert len(outcomes) == threads
+        assert sum(outcomes) == 1, (
+            f"{sum(outcomes)} of {threads} threads were admitted as "
+            f"the half-open probe (want exactly 1)"
+        )
+
+        # the probe never ran: abort must free the slot for exactly
+        # one new winner, not zero and not several
+        breaker.abort_probe()
+        again = self._hammer(breaker, threads)
+        assert sum(again) == 1
+
+        # the probe failing re-opens: nobody gets in until cooldown
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        rejected = self._hammer(breaker, threads)
+        assert sum(rejected) == 0
+
+        # ... and a successful probe after cooldown closes for everyone
+        clock.advance(10.0)
+        assert sum(self._hammer(breaker, threads)) == 1
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert sum(self._hammer(breaker, threads)) == threads

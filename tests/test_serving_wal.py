@@ -329,3 +329,98 @@ class TestRegistryDurability:
         assert any(p is None for p in phases.values())
         # and the draw is deterministic
         assert phases[0] == plan.writer_crash_phase("ds", 7, 0)
+
+
+# ----------------------------------------------------------------------
+# recovery across the checkpoint/rotation boundary
+# ----------------------------------------------------------------------
+class TestRotationBoundary:
+    def test_adopt_across_rotated_boundary_is_bit_identical(self, tmp_path):
+        """A checkpoint cadence that rotates the WAL mid-sequence must
+        not change what a cold adoption reconstructs: checkpoint +
+        post-rotation WAL frames replay to the uninterrupted state."""
+        base, ops = _mutation_sequence(seed=8, batches=11)
+        # ground truth: same batches, no durability machinery at all
+        clean = DatasetRegistry(keep_versions=64)
+        clean.register("ds", base, drift=DriftPolicy.never())
+        _apply_all(clean, "ds", ops)
+        expected = clean.snapshot("ds")
+
+        durable = DatasetRegistry(
+            durability_dir=str(tmp_path), checkpoint_every=3
+        )
+        durable.register("ds", base, drift=DriftPolicy.never())
+        _apply_all(durable, "ds", ops)
+        # the cadence (every 3) rotated at least once, and the live WAL
+        # holds only frames past the last checkpoint
+        store = DatasetStore(str(tmp_path), "ds")
+        state = store.load_checkpoint()
+        assert state is not None and state.seq > 1
+        tail = [r.seq for r in store.wal.replay().records]
+        assert all(seq > state.seq for seq in tail)
+
+        # cold-start adoption (the failover path) spans the boundary
+        fresh = DatasetRegistry(durability_dir=str(tmp_path))
+        result = fresh.adopt("ds", drift=DriftPolicy.never())
+        recovered = fresh.snapshot("ds")
+        assert result.recovered
+        assert recovered.version == expected.version
+        assert recovered.state_digest() == expected.state_digest()
+
+    def test_recover_refuses_seq_jump_past_checkpoint(self, tmp_path):
+        """A WAL that resumes *beyond* checkpoint.seq + 1 means an
+        acknowledged batch vanished across the rotation point; recovery
+        must refuse rather than silently replay past the hole."""
+        rng = np.random.default_rng(9)
+        registry = DatasetRegistry(
+            durability_dir=str(tmp_path), checkpoint_every=1
+        )
+        registry.register("ds", _points(rng, 40), drift=DriftPolicy.never())
+        registry.insert("ds", _points(rng, 2), [600, 601])
+        # checkpoint_every=1: every publish checkpoints + rotates, so
+        # the live WAL is empty and the checkpoint ends at seq 2
+        store = DatasetStore(str(tmp_path), "ds")
+        state = store.load_checkpoint()
+        assert state is not None and state.seq == 2
+        assert store.wal.replay().records == ()
+        # forge a frame that skips seq 3 — as if rotation ate its head
+        store.wal.append(WalRecord.delete(state.seq + 2, [600]))
+        store.wal.close()
+
+        fresh = DatasetRegistry(durability_dir=str(tmp_path))
+        with pytest.raises(ConfigurationError, match="sequence gap"):
+            fresh.adopt("ds")
+
+    def test_recover_skips_frames_the_checkpoint_covers(self, tmp_path):
+        """Crash *between* checkpoint and rotation: the WAL still holds
+        frames at or below checkpoint.seq.  Recovery must skip them
+        (replaying would double-apply) and land bit-identical."""
+        rng = np.random.default_rng(10)
+        registry = DatasetRegistry(
+            durability_dir=str(tmp_path), checkpoint_every=100
+        )
+        registry.register("ds", _points(rng, 40), drift=DriftPolicy.never())
+        registry.insert("ds", _points(rng, 2), [700, 701])
+        registry.delete("ds", [0])
+        expected = registry.snapshot("ds")
+
+        store = DatasetStore(str(tmp_path), "ds")
+        wal_records = store.wal.replay().records
+        assert [r.seq for r in wal_records] == [2, 3]
+        # hand-roll the "checkpointed but crashed before rotate" state
+        snap = registry.snapshot("ds")
+        store.save_checkpoint(
+            snap.codec, seq=3, version=3, points=snap.points,
+            ids=snap.ids, sky_ids=snap.sky_ids,
+            deletes_since_rebuild=0,
+        )
+        # save_checkpoint rotates; write the pre-rotation frames back
+        for record in wal_records:
+            store.wal.append(record)
+        store.wal.close()
+
+        fresh = DatasetRegistry(durability_dir=str(tmp_path))
+        fresh.adopt("ds", drift=DriftPolicy.never())
+        recovered = fresh.snapshot("ds")
+        assert recovered.version == expected.version
+        assert recovered.state_digest() == expected.state_digest()
