@@ -1,0 +1,142 @@
+"""Multicore scaling smoke for the process-pool executor.
+
+Runs one fig-12-shaped workload (independent, d=8 — squarely in the
+paper's high-dimensional regime) end to end under
+``executor="procpool"`` with 1 worker and with 4 workers, and writes
+the measurements to ``BENCH_procpool.json`` at the repo root (a CI
+artifact).
+
+Guards:
+
+* the 4-worker skyline is **bit-identical** to the 1-worker skyline —
+  always enforced, on any host;
+* the 4-worker run is at least **1.8x** faster in wall clock than the
+  1-worker run — enforced only when the host actually has >= 4 usable
+  cores (a speedup gate on a 1-core container measures the scheduler,
+  not the executor; the JSON records ``available_cpus`` so the artifact
+  is honest about which case it captured).
+
+The two runs share every plan knob except ``num_workers`` — including
+``num_input_splits``, so the 1-worker run is not handicapped with a
+different map-task granularity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate
+from repro.pipeline.driver import run_plan
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_procpool.json")
+
+#: minimum wall-clock speedup of 4 workers over 1 (on >= 4 real cores)
+MIN_SPEEDUP = 1.8
+#: cores the speedup gate needs before it is meaningful
+GATE_CORES = 4
+
+WORKLOAD = dict(
+    plan="ZDG+ZS+ZMP",
+    dist="independent",
+    n=40_000,
+    d=8,
+    num_groups=16,
+    num_input_splits=8,
+    seed=3,
+)
+
+#: best-of-N wall clock per configuration (damps transient host load)
+REPEATS = 2
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run(dataset, workers: int) -> Dict[str, object]:
+    best = float("inf")
+    report = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        report = run_plan(
+            WORKLOAD["plan"],
+            dataset,
+            num_groups=WORKLOAD["num_groups"],
+            num_workers=workers,
+            num_input_splits=WORKLOAD["num_input_splits"],
+            seed=WORKLOAD["seed"],
+            executor="procpool",
+        )
+        best = min(best, time.perf_counter() - start)
+    return {
+        "workers": workers,
+        "seconds": round(best, 4),
+        "skyline": int(report.skyline.size),
+        "report": report,
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    dataset = generate(
+        WORKLOAD["dist"], WORKLOAD["n"], WORKLOAD["d"],
+        seed=WORKLOAD["seed"],
+    )
+    runs = {workers: _run(dataset, workers) for workers in (1, GATE_CORES)}
+    single, pooled = runs[1], runs[GATE_CORES]
+    cpus = _available_cpus()
+    payload = {
+        "workload": dict(WORKLOAD),
+        "available_cpus": cpus,
+        "repeats": REPEATS,
+        "runs": [
+            {k: v for k, v in run.items() if k != "report"}
+            for run in (single, pooled)
+        ],
+        "speedup": round(single["seconds"] / pooled["seconds"], 3),
+        "gate": {
+            "min_speedup": MIN_SPEEDUP,
+            "enforced": cpus >= GATE_CORES,
+        },
+    }
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return runs, payload
+
+
+class TestProcpoolScaling:
+    def test_skylines_bit_identical_across_worker_counts(
+        self, measurements
+    ):
+        runs, _ = measurements
+        a = runs[1]["report"].skyline
+        b = runs[GATE_CORES]["report"].skyline
+        assert sorted(a.ids.tolist()) == sorted(b.ids.tolist())
+        assert np.array_equal(
+            a.points[np.argsort(a.ids)], b.points[np.argsort(b.ids)]
+        )
+
+    def test_four_workers_beat_one(self, measurements):
+        _, payload = measurements
+        if not payload["gate"]["enforced"]:
+            pytest.skip(
+                f"speedup gate needs >= {GATE_CORES} usable cores, "
+                f"this host has {payload['available_cpus']} "
+                f"(measured speedup {payload['speedup']}x is recorded "
+                f"in BENCH_procpool.json)"
+            )
+        assert payload["speedup"] >= MIN_SPEEDUP, (
+            f"4-worker run only {payload['speedup']}x faster than "
+            f"1-worker (need >= {MIN_SPEEDUP}x); see BENCH_procpool.json"
+        )

@@ -68,8 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--executor",
         default="simulated",
-        choices=["simulated", "threaded"],
-        help="task executor (threaded = real thread-per-worker)",
+        choices=["simulated", "threaded", "procpool"],
+        help=(
+            "task executor (threaded = thread-per-worker, "
+            "procpool = process-per-worker multicore)"
+        ),
     )
     run.add_argument(
         "--faults",

@@ -21,7 +21,12 @@ counts — all of which are observable in-process.  This package provides:
 * :mod:`repro.mapreduce.job` / :mod:`repro.mapreduce.runtime` — job
   specification and the engine that executes map → combine → shuffle →
   reduce rounds over the simulated cluster, including lineage-based
-  re-execution of lost map tasks and shuffle re-fetch.
+  re-execution of lost map tasks and shuffle re-fetch;
+* :mod:`repro.mapreduce.parallel` / :mod:`repro.mapreduce.procpool` —
+  drop-in executors that run the same rounds on real threads
+  (:class:`ThreadedCluster`) or real worker processes
+  (:class:`ProcessPoolCluster`, with shared-memory Block transport via
+  :mod:`repro.mapreduce.shm`).
 """
 
 from repro.mapreduce.cache import DistributedCache
@@ -30,6 +35,8 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import FaultPlan, TransientTaskError
 from repro.mapreduce.hdfs import InMemoryDFS
 from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
+from repro.mapreduce.parallel import ThreadedCluster
+from repro.mapreduce.procpool import ProcessPoolCluster
 from repro.mapreduce.runtime import MapReduceRuntime
 from repro.mapreduce.types import Block
 
@@ -43,8 +50,10 @@ __all__ = [
     "JobResult",
     "MapReduceJob",
     "MapReduceRuntime",
+    "ProcessPoolCluster",
     "SimulatedCluster",
     "TaskContext",
+    "ThreadedCluster",
     "TransientTaskError",
     "WorkerLedger",
 ]

@@ -177,6 +177,10 @@ class SimulatedCluster:
             raise MapReduceError("at least one worker must survive")
         self.num_workers = num_workers
         self.slowdown_factors = factors
+        #: class marker: remote executors ship tasks across a process
+        #: boundary, so the runtime must send picklable task payloads
+        #: instead of closures (see ``MapReduceRuntime``)
+        self.remote = False
         self.speculative = speculative
         self.speculation_threshold = speculation_threshold
         self.failed_workers = failed
@@ -358,6 +362,9 @@ class SimulatedCluster:
             ledgers[slowest].wall_seconds -= saved / 2.0  # killed halfway
             ledgers[backup].wall_seconds += added
             ledgers[backup].speculative_copies += 1
+
+    def shutdown(self) -> None:
+        """Release executor resources (no-op for in-process clusters)."""
 
     def metrics_for(self, phase: str) -> ClusterMetrics:
         """Most recent metrics entry for a phase name."""

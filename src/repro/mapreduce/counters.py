@@ -71,5 +71,16 @@ class Counters:
         with self._lock:
             return {g: dict(names) for g, names in self._data.items()}
 
+    def __getstate__(self) -> Dict[str, Dict[str, int]]:
+        # The lock cannot cross a pickle boundary and the nested
+        # lambda-defaultdict pickles poorly; ship a plain-dict snapshot
+        # so counters survive the process-pool boundary losslessly.
+        return self.as_dict()
+
+    def __setstate__(self, state: Dict[str, Dict[str, int]]) -> None:
+        self._data = defaultdict(lambda: defaultdict(int))
+        self._lock = threading.Lock()
+        self.update_from_dict(state)
+
     def __repr__(self) -> str:
         return f"Counters({self.as_dict()!r})"

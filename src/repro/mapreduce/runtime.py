@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,7 +59,14 @@ from repro.mapreduce.cluster import ClusterMetrics, LostTask, SimulatedCluster
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.hdfs import InMemoryDFS
-from repro.mapreduce.job import JobResult, MapReduceJob, TaskContext
+from repro.mapreduce.job import (
+    Combiner,
+    JobResult,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+    TaskContext,
+)
 from repro.mapreduce.types import Block
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import NULL_TRACER, SUPERSEDED, Span, Tracer
@@ -98,6 +105,188 @@ class ReducePolicy:
 
     lenient: bool = False
     deadline: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# remote task payloads (the process-pool dispatch path)
+# ----------------------------------------------------------------------
+# A remote executor (``cluster.remote``) cannot run the closure tasks the
+# in-process path builds — they close over the tracer, the coordinator's
+# cache, and shared counters.  Instead the runtime ships small picklable
+# payload objects and gets back :class:`RemoteTaskResult` plain data:
+# per-task counters, span attributes, metric observations, and the
+# kernel-stats delta the task accrued (``KernelStats`` deliberately
+# pickles empty, so the delta must travel explicitly) — all merged
+# coordinator-side in deterministic task order.
+
+
+class _ObservationBuffer:
+    """Worker-side stand-in for the metrics registry: collects
+    ``ctx.observe`` samples to replay into the coordinator's registry."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[str, float]] = []
+
+    def observe(self, name: str, value: float) -> None:
+        self.samples.append((name, float(value)))
+
+
+def _kernel_stats_objects(cache: DistributedCache) -> List:
+    """Distinct ``KernelStats`` objects reachable from cache entries
+    (deterministic key order, deduplicated by identity — the codec is
+    typically referenced by several entries)."""
+    found: List = []
+    for key in sorted(cache):
+        stats = getattr(cache.get(key), "kernel_stats", None)
+        if stats is not None and all(stats is not seen for seen in found):
+            found.append(stats)
+    return found
+
+
+def _collect_kernel_delta(stats_objects: List) -> Dict[str, int]:
+    merged: Dict[str, int] = {}
+    for stats in stats_objects:
+        for name, value in stats.snapshot().items():
+            merged[name] = merged.get(name, 0) + int(value)
+    return merged
+
+
+@dataclass
+class RemoteTaskResult:
+    """Everything one remote task sends back across the pool boundary."""
+
+    payload: object
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    span_attrs: Dict[str, object] = field(default_factory=dict)
+    kernel_stats: Dict[str, int] = field(default_factory=dict)
+    observations: List[Tuple[str, float]] = field(default_factory=list)
+
+
+@dataclass
+class RemoteMapTask:
+    """Picklable map task: mapper + combiner over one input block.
+
+    ``block`` may be an inline :class:`Block` or a shared-memory
+    descriptor — the cluster swaps one for the other via the
+    ``shm_payload_blocks`` / ``with_shm_blocks`` protocol.
+    """
+
+    mapper: Mapper
+    combiner: Optional[Combiner]
+    index: int
+    block: object
+
+    def shm_payload_blocks(self) -> List[Block]:
+        return [self.block] if isinstance(self.block, Block) else []
+
+    def with_shm_blocks(self, refs: List[object]) -> "RemoteMapTask":
+        return replace(self, block=refs[0]) if refs else self
+
+    def __call__(self) -> Tuple[RemoteTaskResult, int]:
+        from repro.mapreduce.procpool import worker_cache
+        from repro.mapreduce.shm import resolve_block
+
+        cache = worker_cache()
+        stats_objects = _kernel_stats_objects(cache)
+        for stats in stats_objects:
+            # Tasks run serially within a worker process, so the delta
+            # is simply reset-before / snapshot-after around the body.
+            stats.reset()
+        block = resolve_block(self.block)
+        task_counters = Counters()
+        buffer = _ObservationBuffer()
+        ctx = TaskContext(cache, task_counters, metrics=buffer)
+        task_counters.inc("map", "input_records", block.size)
+        emitted: Dict[int, List[Block]] = defaultdict(list)
+        for key, out_block in self.mapper(block, ctx):
+            emitted[int(key)].append(out_block)
+        if self.combiner is not None:
+            emitted = {
+                key: list(self.combiner(key, blocks, ctx))
+                for key, blocks in emitted.items()
+            }
+        out_records = sum(
+            b.size for blocks in emitted.values() for b in blocks
+        )
+        task_counters.inc("map", "output_records", out_records)
+        MapReduceRuntime._count_dominance(task_counters, ctx)
+        result = RemoteTaskResult(
+            payload=dict(emitted),
+            counters=task_counters.as_dict(),
+            span_attrs={
+                "records_in": block.size,
+                "records_out": out_records,
+                "dominance_point_tests": ctx.ops.point_tests,
+                "dominance_region_tests": ctx.ops.region_tests,
+            },
+            kernel_stats=_collect_kernel_delta(stats_objects),
+            observations=buffer.samples,
+        )
+        return result, ctx.cost_units(records=block.size)
+
+
+@dataclass
+class RemoteReduceTask:
+    """Picklable reduce task: one key's blocks through the reducer."""
+
+    job_name: str
+    reducer: Reducer
+    key: int
+    index: int
+    blocks: List[object]
+    lenient: bool = False
+    deadline: Optional[float] = None
+
+    def shm_payload_blocks(self) -> List[Block]:
+        return [b for b in self.blocks if isinstance(b, Block)]
+
+    def with_shm_blocks(self, refs: List[object]) -> "RemoteReduceTask":
+        return replace(self, blocks=list(refs)) if refs else self
+
+    def __call__(self) -> Tuple[RemoteTaskResult, int]:
+        from repro.mapreduce.procpool import worker_cache
+        from repro.mapreduce.shm import resolve_block
+
+        # CLOCK_MONOTONIC is system-wide on the platforms the pool runs
+        # on, so the coordinator's deadline timestamp is comparable here.
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            error = DeadlineExceededError(
+                f"reduce key {self.key} of {self.job_name!r} not started "
+                f"before the deadline"
+            )
+            if self.lenient:
+                return RemoteTaskResult(LostTask(self.index, error)), 0
+            raise error
+        cache = worker_cache()
+        stats_objects = _kernel_stats_objects(cache)
+        for stats in stats_objects:
+            stats.reset()
+        blocks = [resolve_block(b) for b in self.blocks]
+        task_counters = Counters()
+        buffer = _ObservationBuffer()
+        ctx = TaskContext(cache, task_counters, metrics=buffer)
+        in_records = sum(b.size for b in blocks)
+        task_counters.inc("reduce", "input_records", in_records)
+        result = self.reducer(self.key, blocks, ctx)
+        out_records = result.size if isinstance(result, Block) else 0
+        if isinstance(result, Block):
+            task_counters.inc("reduce", "output_records", result.size)
+        MapReduceRuntime._count_dominance(task_counters, ctx)
+        remote_result = RemoteTaskResult(
+            payload=result,
+            counters=task_counters.as_dict(),
+            span_attrs={
+                "records_in": in_records,
+                "records_out": out_records,
+                "dominance_point_tests": ctx.ops.point_tests,
+                "dominance_region_tests": ctx.ops.region_tests,
+            },
+            kernel_stats=_collect_kernel_delta(stats_objects),
+            observations=buffer.samples,
+        )
+        return remote_result, ctx.cost_units(records=in_records)
 
 
 class MapReduceRuntime:
@@ -297,15 +486,34 @@ class MapReduceRuntime:
 
             return task
 
-        tasks = [
-            make_task(index, block)
-            for index, block in enumerate(input_blocks)
-        ]
-        attempts = self.cluster.run_round(phase, tasks)
-        map_metrics = self.cluster.metrics_for(phase)
-        recovery_metrics = self._recover_lost_map_output(
-            phase, tasks, attempts, map_metrics, counters
-        )
+        if getattr(self.cluster, "remote", False):
+            self._publish_pool_cache()
+            tasks: List = [
+                RemoteMapTask(
+                    mapper=job.mapper, combiner=job.combiner,
+                    index=index, block=block,
+                )
+                for index, block in enumerate(input_blocks)
+            ]
+            raw = self.cluster.run_round(phase, tasks)
+            map_metrics = self.cluster.metrics_for(phase)
+            recovery_metrics = self._recover_lost_map_output(
+                phase, tasks, raw, map_metrics, counters
+            )
+            attempts = [
+                self._materialize_map_attempt(remote, index, phase, phase_span)
+                for index, remote in enumerate(raw)
+            ]
+        else:
+            tasks = [
+                make_task(index, block)
+                for index, block in enumerate(input_blocks)
+            ]
+            attempts = self.cluster.run_round(phase, tasks)
+            map_metrics = self.cluster.metrics_for(phase)
+            recovery_metrics = self._recover_lost_map_output(
+                phase, tasks, attempts, map_metrics, counters
+            )
 
         map_outputs: List[Dict[int, List[Block]]] = []
         for emitted, attempt_counters, _task_span in attempts:
@@ -326,6 +534,49 @@ class MapReduceRuntime:
         )
         phase_span.finish()
         return map_outputs, map_metrics, recovery_metrics
+
+    def _publish_pool_cache(self) -> None:
+        """Ship the distributed cache to a remote executor's workers
+        (no-op for executors without a ``publish_cache`` hook)."""
+        publish = getattr(self.cluster, "publish_cache", None)
+        if publish is not None:
+            publish(self.cache)
+
+    def _absorb_remote(self, remote: RemoteTaskResult) -> None:
+        """Merge one remote task's side data into coordinator state:
+        kernel-stats deltas into the cache codec's stats object, metric
+        observations into the registry."""
+        if remote.kernel_stats:
+            targets = _kernel_stats_objects(self.cache)
+            if targets:
+                targets[0].merge_snapshot(remote.kernel_stats)
+        if self.metrics is not None:
+            for name, value in remote.observations:
+                self.metrics.observe(name, value)
+
+    def _materialize_map_attempt(
+        self,
+        remote: RemoteTaskResult,
+        index: int,
+        phase: str,
+        phase_span: Span,
+    ) -> Tuple[Dict[int, List[Block]], Counters, Optional[Span]]:
+        """Turn a remote map result into the in-process attempt shape.
+
+        Spans are materialised post-hoc from the shipped attributes, so
+        aggregating non-superseded span attributes still reproduces the
+        job counters (the timing, unlike the attributes, is coordinator
+        wall clock — remote spans describe *what* ran, not when).
+        """
+        self._absorb_remote(remote)
+        task_span = None
+        if self.tracer.enabled:
+            task_span = self.tracer.start_span(
+                "map.task", parent=phase_span, phase=phase, task=index
+            )
+            task_span.update(**remote.span_attrs)
+            task_span.finish()
+        return remote.payload, Counters.from_dict(remote.counters), task_span
 
     @staticmethod
     def _count_dominance(counters: Counters, ctx: TaskContext) -> None:
@@ -385,8 +636,12 @@ class MapReduceRuntime:
         for slot, attempt in zip(lost, recovered):
             # The crashed worker's span describes work whose output was
             # lost: mark it so trace aggregation, like the counters,
-            # credits only the surviving re-execution.
-            lost_span = attempts[slot][2]
+            # credits only the surviving re-execution.  (On the remote
+            # path attempts are RemoteTaskResult objects whose spans are
+            # only materialised for the surviving attempt, so there is
+            # nothing to mark.)
+            entry = attempts[slot]
+            lost_span = entry[2] if isinstance(entry, tuple) else None
             if lost_span is not None:
                 lost_span.set(SUPERSEDED, True)
             attempts[slot] = attempt
@@ -521,8 +776,40 @@ class MapReduceRuntime:
 
             return task
 
-        tasks = [make_task(key, index) for index, key in enumerate(keys)]
-        results = self.cluster.run_round(phase, tasks, lenient=lenient)
+        if getattr(self.cluster, "remote", False):
+            self._publish_pool_cache()
+            tasks: List = [
+                RemoteReduceTask(
+                    job_name=job.name, reducer=job.reducer, key=key,
+                    index=index, blocks=list(grouped[key]),
+                    lenient=lenient, deadline=deadline,
+                )
+                for index, key in enumerate(keys)
+            ]
+            raw = self.cluster.run_round(phase, tasks, lenient=lenient)
+            results: List = []
+            for index, (key, remote) in enumerate(zip(keys, raw)):
+                if isinstance(remote, LostTask):
+                    # Injected exhaustion, resolved coordinator-side.
+                    results.append(remote)
+                    continue
+                if isinstance(remote.payload, LostTask):
+                    # Deadline loss inside the worker.
+                    results.append(remote.payload)
+                    continue
+                self._absorb_remote(remote)
+                counters.update_from_dict(remote.counters)
+                if traced:
+                    task_span = tracer.start_span(
+                        "reduce.task", parent=phase_span, phase=phase,
+                        task=index, key=key,
+                    )
+                    task_span.update(**remote.span_attrs)
+                    task_span.finish()
+                results.append(remote.payload)
+        else:
+            tasks = [make_task(key, index) for index, key in enumerate(keys)]
+            results = self.cluster.run_round(phase, tasks, lenient=lenient)
         failed = self.cluster.metrics_for(phase).failed_attempts
         if failed:
             counters.inc("reduce", "failed_attempts", failed)

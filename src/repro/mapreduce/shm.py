@@ -1,0 +1,212 @@
+"""Shared-memory Block transport for the process-pool executor.
+
+Pickling a :class:`~repro.mapreduce.types.Block` copies its arrays
+through the pool's result pipe byte by byte.  For the task *inputs* —
+the large side of the traffic: input splits and shuffled candidate
+blocks — the coordinator instead packs every outbound array into one
+``multiprocessing.shared_memory`` segment per round and ships tiny
+picklable :class:`ShmBlockRef` descriptors.  A worker resolves a
+descriptor to zero-copy, read-only numpy views over the mapped segment.
+
+Layout: arrays are laid out back to back at 64-byte-aligned offsets
+(ids, points, then the packed z-batch when present, block after block).
+A descriptor carries ``(segment, offset, shape, dtype)`` per array —
+enough to reconstruct the view without touching the data.
+
+Lifecycle: the coordinator creates the segment before dispatch and
+unlinks it right after the round's results arrive (POSIX keeps the
+mapping alive for workers that still hold views).  Workers cache one
+attachment per segment name and close stale attachments on the next
+round's first resolve.  Attachments are explicitly unregistered from
+``resource_tracker`` — the *coordinator* owns the segment's lifetime,
+and letting each worker's tracker also try to unlink it would double
+-free the name at interpreter shutdown.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapreduce.types import Block
+
+#: alignment for each packed array (cache-line friendly, and safe for
+#: any numpy dtype's alignment requirement)
+_ALIGN = 64
+
+#: rounds whose total payload is smaller than this go inline through the
+#: pickle pipe — mapping a segment costs more than copying a few KB
+MIN_SHM_BYTES = 64 * 1024
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Picklable descriptor of one array inside a shared segment."""
+
+    segment: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def resolve(self, buf: memoryview) -> np.ndarray:
+        view = np.ndarray(
+            self.shape, dtype=np.dtype(self.dtype), buffer=buf,
+            offset=self.offset,
+        )
+        view.flags.writeable = False
+        return view
+
+
+@dataclass(frozen=True)
+class ShmBlockRef:
+    """Picklable stand-in for a Block whose arrays live in a segment."""
+
+    ids: ShmArrayRef
+    points: ShmArrayRef
+    zaddresses: Optional[ShmArrayRef] = None
+
+    def resolve(self) -> Block:
+        buf = attach(self.ids.segment).buf
+        z = None if self.zaddresses is None else self.zaddresses.resolve(buf)
+        return Block(
+            self.ids.resolve(buf), self.points.resolve(buf), zaddresses=z
+        )
+
+
+def resolve_block(block: object) -> Block:
+    """A Block passes through; a ShmBlockRef resolves to its views."""
+    if isinstance(block, ShmBlockRef):
+        return block.resolve()
+    assert isinstance(block, Block)
+    return block
+
+
+@dataclass
+class RoundSegment:
+    """Coordinator-side handle on one round's packed segment."""
+
+    shm: shared_memory.SharedMemory
+    nbytes: int = 0
+
+    def close(self) -> None:
+        """Release the coordinator's mapping and unlink the name.
+
+        Workers that still hold views keep their mappings; the kernel
+        frees the memory once the last mapping goes away.
+        """
+        try:
+            self.shm.close()
+        finally:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+
+
+def _payload_arrays(block: Block) -> List[np.ndarray]:
+    arrays = [block.ids, block.points]
+    if block.zaddresses is not None:
+        arrays.append(block.zaddresses)
+    return arrays
+
+
+def pack_blocks(
+    blocks: Sequence[Block], *, min_bytes: int = MIN_SHM_BYTES
+) -> Tuple[Optional[RoundSegment], List[object]]:
+    """Pack blocks into one fresh segment; return (segment, stand-ins).
+
+    The stand-in list is positionally aligned with ``blocks``.  Rounds
+    whose total payload is under ``min_bytes`` return ``(None, blocks)``
+    unchanged — small payloads ride the pickle pipe.
+    """
+    plan: List[List[Tuple[int, np.ndarray]]] = []
+    cursor = 0
+    for block in blocks:
+        placed = []
+        for array in _payload_arrays(block):
+            array = np.ascontiguousarray(array)
+            cursor = _aligned(cursor)
+            placed.append((cursor, array))
+            cursor += array.nbytes
+        plan.append(placed)
+    if cursor < min_bytes:
+        return None, list(blocks)
+
+    shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+    refs: List[object] = []
+    for block, placed in zip(blocks, plan):
+        array_refs = []
+        for offset, array in placed:
+            dest = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset
+            )
+            dest[...] = array
+            array_refs.append(
+                ShmArrayRef(shm.name, offset, array.shape, array.dtype.str)
+            )
+        z_ref = array_refs[2] if len(array_refs) == 3 else None
+        refs.append(ShmBlockRef(array_refs[0], array_refs[1], z_ref))
+    return RoundSegment(shm, nbytes=cursor), refs
+
+
+# ----------------------------------------------------------------------
+# worker-side attachment cache
+# ----------------------------------------------------------------------
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: fork-capable platforms share one resource-tracker process between the
+#: coordinator and its pool workers; its name set deduplicates the
+#: worker's attach-time registration, and the coordinator's unlink
+#: removes the name exactly once.  Only spawn-style pools (per-process
+#: trackers) need the attach side to disown the registration, or each
+#: worker's tracker would try to unlink the coordinator's segment at
+#: exit.
+_SHARED_TRACKER = "fork" in multiprocessing.get_all_start_methods()
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment by name, caching one mapping per name.
+
+    Stale mappings (other names) are closed opportunistically — a close
+    can fail with ``BufferError`` while a task-result view still
+    references the buffer, in which case it is retried on the next
+    attach.
+    """
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached
+    for stale in [n for n in _ATTACHED if n != name]:
+        try:
+            _ATTACHED[stale].close()
+        except BufferError:
+            continue
+        del _ATTACHED[stale]
+    shm = shared_memory.SharedMemory(name=name)
+    # The coordinator owns unlinking; without this, a spawn worker's own
+    # resource tracker would try to unlink the same name at exit.
+    if not _SHARED_TRACKER:  # pragma: no cover - spawn-only platforms
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    _ATTACHED[name] = shm
+    return shm
+
+
+__all__ = [
+    "MIN_SHM_BYTES",
+    "RoundSegment",
+    "ShmArrayRef",
+    "ShmBlockRef",
+    "attach",
+    "pack_blocks",
+    "resolve_block",
+]

@@ -66,14 +66,29 @@ def build_dominance_matrix(regions: List[RZRegion]) -> np.ndarray:
     ``DM[i][j]`` is proportional to ``V_dom(Pt_i, Pt_j)``; the diagonal is
     zero and the matrix is symmetric, matching the stated properties of
     the definition.
+
+    Fully vectorised over all pairs.  Per dimension the gap is between
+    the largest and second-largest of the four corner coordinates; with
+    ``minpt <= maxpt`` within each region the largest is
+    ``max(maxpt_i, maxpt_j)`` and the second largest is
+    ``max(min(maxpt_i, maxpt_j), minpt_i, minpt_j)`` — a closed form
+    that avoids sorting (m*m*4, d) stacks.
     """
     m = len(regions)
-    logs = np.full((m, m), -math.inf)
-    for i in range(m):
-        for j in range(i + 1, m):
-            logs[i, j] = logs[j, i] = log_dominance_volume(
-                regions[i], regions[j]
-            )
+    if m == 0:
+        return np.zeros((0, 0))
+    minpts = np.stack([r.minpt for r in regions]).astype(np.float64)
+    maxpts = np.stack([r.maxpt for r in regions]).astype(np.float64)
+    top = np.maximum(maxpts[:, None, :], maxpts[None, :, :])
+    second = np.maximum(
+        np.minimum(maxpts[:, None, :], maxpts[None, :, :]),
+        np.maximum(minpts[:, None, :], minpts[None, :, :]),
+    )
+    gaps = top - second  # (m, m, d)
+    positive = gaps > 0.0
+    logs = np.sum(np.log(np.where(positive, gaps, 1.0)), axis=-1)
+    logs[~positive.all(axis=-1)] = -math.inf
+    np.fill_diagonal(logs, -math.inf)
     finite = logs[np.isfinite(logs)]
     if finite.size == 0:
         return np.zeros((m, m))
@@ -98,16 +113,18 @@ def prune_dominated_partitions(
     point (see §5.4's pruning analysis).
     """
     m = len(regions)
-    pruned = np.zeros(m, dtype=bool)
-    for j in range(m):
-        rj = regions[j]
-        for i in range(m):
-            if i == j or not nonempty[i]:
-                continue
-            if regions[i].fully_dominates(rj):
-                pruned[j] = True
-                break
-    return pruned
+    if m == 0:
+        return np.zeros(0, dtype=bool)
+    minpts = np.stack([r.minpt for r in regions])
+    maxpts = np.stack([r.maxpt for r in regions])
+    # dom[i, j]: region i fully dominates region j (Lemma 1 case 1 —
+    # maxpt_i dominates minpt_j), vectorised over all pairs.
+    le = np.all(maxpts[:, None, :] <= minpts[None, :, :], axis=2)
+    lt = np.any(maxpts[:, None, :] < minpts[None, :, :], axis=2)
+    dom = le & lt
+    dom[~np.asarray(nonempty, dtype=bool), :] = False
+    np.fill_diagonal(dom, False)
+    return dom.any(axis=0)
 
 
 class DominanceGroupingPartitioner(Partitioner):

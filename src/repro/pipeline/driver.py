@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.dataset import Dataset
 from repro.core.exceptions import ConfigurationError
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.counters import Counters
 from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.job import FAULT_COUNTER_KEYS
 from repro.mapreduce.hdfs import InMemoryDFS
@@ -52,8 +53,9 @@ class EngineConfig:
     #: as ``"seed=7,task=0.1,crash=0.2,corrupt=0.05"``); works on both
     #: executors — the keyed-draw schedule is thread-order independent
     fault_plan: Optional[FaultPlan] = None
-    #: "simulated" (sequential, deterministic, supports fault injection)
-    #: or "threaded" (real thread-per-worker parallelism)
+    #: "simulated" (sequential, deterministic, supports fault injection),
+    #: "threaded" (thread-per-worker parallelism), or "procpool"
+    #: (process-per-worker multicore parallelism); see ``EXECUTORS``
     executor: str = "simulated"
     #: JSONL span-trace output path; setting it enables tracing
     trace_out: Optional[str] = None
@@ -91,19 +93,19 @@ class EngineConfig:
             )
         if not (0.0 < self.sample_ratio <= 1.0):
             raise ConfigurationError("sample_ratio must be in (0, 1]")
-        if self.executor not in ("simulated", "threaded"):
+        if self.executor not in EXECUTORS:
+            names = ", ".join(repr(name) for name in sorted(EXECUTORS))
             raise ConfigurationError(
-                f"executor must be 'simulated' or 'threaded'; "
-                f"got {self.executor!r}"
+                f"executor must be one of {names}; got {self.executor!r}"
             )
-        if self.executor == "threaded" and (
+        if self.executor != "simulated" and (
             self.slowdown_factors is not None
             or self.speculative
             or self.failed_workers is not None
         ):
             raise ConfigurationError(
                 "straggler injection and speculation need the simulated "
-                "executor (FaultPlan injection works on both)"
+                "executor (FaultPlan injection works on all executors)"
             )
         if isinstance(self.fault_plan, str):
             self.fault_plan = FaultPlan.parse(self.fault_plan)
@@ -331,12 +333,7 @@ class RunReport:
         return out
 
 
-def make_cluster(cfg: EngineConfig) -> SimulatedCluster:
-    """Build the configured executor (shared by engine and supervisor)."""
-    if cfg.executor == "threaded":
-        from repro.mapreduce.parallel import ThreadedCluster
-
-        return ThreadedCluster(cfg.num_workers, fault_plan=cfg.fault_plan)
+def _make_simulated(cfg: EngineConfig) -> SimulatedCluster:
     return SimulatedCluster(
         cfg.num_workers,
         slowdown_factors=cfg.slowdown_factors,
@@ -344,6 +341,48 @@ def make_cluster(cfg: EngineConfig) -> SimulatedCluster:
         failed_workers=cfg.failed_workers,
         fault_plan=cfg.fault_plan,
     )
+
+
+def _make_threaded(cfg: EngineConfig) -> SimulatedCluster:
+    from repro.mapreduce.parallel import ThreadedCluster
+
+    return ThreadedCluster(cfg.num_workers, fault_plan=cfg.fault_plan)
+
+
+def _make_procpool(cfg: EngineConfig) -> SimulatedCluster:
+    from repro.mapreduce.procpool import ProcessPoolCluster
+
+    return ProcessPoolCluster(cfg.num_workers, fault_plan=cfg.fault_plan)
+
+
+#: executor plug-in registry: ``EngineConfig.executor`` selects one of
+#: these factories; :func:`register_executor` adds new ones without
+#: touching the engine (the executors are interchangeable because the
+#: engine boundary is stateless — see :func:`execute`)
+EXECUTORS: Dict[str, Callable[[EngineConfig], SimulatedCluster]] = {
+    "simulated": _make_simulated,
+    "threaded": _make_threaded,
+    "procpool": _make_procpool,
+}
+
+
+def register_executor(
+    name: str, factory: Callable[[EngineConfig], SimulatedCluster]
+) -> None:
+    """Register a cluster factory under an ``EngineConfig.executor`` name."""
+    EXECUTORS[name] = factory
+
+
+def make_cluster(cfg: EngineConfig) -> SimulatedCluster:
+    """Build the configured executor (shared by engine and supervisor)."""
+    try:
+        factory = EXECUTORS[cfg.executor]
+    except KeyError:
+        names = ", ".join(repr(name) for name in sorted(EXECUTORS))
+        raise ConfigurationError(
+            f"executor must be one of {names}; got {cfg.executor!r}"
+        ) from None
+    return factory(cfg)
 
 
 def export_observability(
@@ -404,65 +443,74 @@ class SkylineEngine:
 
         cluster = make_cluster(cfg)
         cluster.observer = registry
-        cache = DistributedCache()
-        pre.publish(cache)
-        runtime = MapReduceRuntime(
-            cluster, dfs=InMemoryDFS(), cache=cache,
-            fault_plan=cfg.fault_plan,
-            tracer=tracer, metrics=registry,
-        )
-
-        splits = split_dataset(
-            snapped, cfg.num_input_splits or cfg.num_workers * 2
-        )
-
-        job1 = make_phase1_job(cfg.plan)
-        with tracer.span("phase1", parent=run_span) as stage_span:
-            result1 = runtime.run(
-                job1, splits, output_path="phase1/candidates",
-                parent_span=stage_span,
+        try:
+            cache = DistributedCache()
+            pre.publish(cache)
+            runtime = MapReduceRuntime(
+                cluster, dfs=InMemoryDFS(), cache=cache,
+                fault_plan=cfg.fault_plan,
+                tracer=tracer, metrics=registry,
             )
 
-        candidate_blocks = [
-            block
-            for block in result1.outputs.values()
-            if isinstance(block, Block) and block.size > 0
-        ]
-        if not candidate_blocks:
-            candidate_blocks = [Block.empty(snapped.dimensions)]
+            splits = split_dataset(
+                snapped, cfg.num_input_splits or cfg.num_workers * 2
+            )
 
-        partial_result: Optional[JobResult] = None
-        if cfg.plan.merge_algorithm == "ZMP":
-            # Parallel merge extension: first fold candidate trees on
-            # every worker, then fold the few partial skylines once.
-            from repro.pipeline.phase2 import make_partial_merge_job
-
-            partial_job = make_partial_merge_job(cfg.num_workers)
-            with tracer.span(
-                "partial-merge", parent=run_span
-            ) as stage_span:
-                partial_result = runtime.run(
-                    partial_job, candidate_blocks,
+            job1 = make_phase1_job(cfg.plan)
+            with tracer.span("phase1", parent=run_span) as stage_span:
+                result1 = runtime.run(
+                    job1, splits, output_path="phase1/candidates",
                     parent_span=stage_span,
                 )
+
             candidate_blocks = [
                 block
-                for block in partial_result.outputs.values()
+                for block in result1.outputs.values()
                 if isinstance(block, Block) and block.size > 0
-            ] or [Block.empty(snapped.dimensions)]
+            ]
+            if not candidate_blocks:
+                candidate_blocks = [Block.empty(snapped.dimensions)]
 
-        job2 = make_phase2_job(cfg.plan)
-        with tracer.span("phase2", parent=run_span) as stage_span:
-            result2 = runtime.run(
-                job2, candidate_blocks, output_path="skyline",
-                parent_span=stage_span,
-            )
+            partial_result: Optional[JobResult] = None
+            if cfg.plan.merge_algorithm == "ZMP":
+                # Parallel merge extension: first fold candidate trees on
+                # every worker, then fold the few partial skylines once.
+                from repro.pipeline.phase2 import make_partial_merge_job
+
+                partial_job = make_partial_merge_job(cfg.num_workers)
+                with tracer.span(
+                    "partial-merge", parent=run_span
+                ) as stage_span:
+                    partial_result = runtime.run(
+                        partial_job, candidate_blocks,
+                        parent_span=stage_span,
+                    )
+                candidate_blocks = [
+                    block
+                    for block in partial_result.outputs.values()
+                    if isinstance(block, Block) and block.size > 0
+                ] or [Block.empty(snapped.dimensions)]
+
+            job2 = make_phase2_job(cfg.plan)
+            with tracer.span("phase2", parent=run_span) as stage_span:
+                result2 = runtime.run(
+                    job2, candidate_blocks, output_path="skyline",
+                    parent_span=stage_span,
+                )
+        finally:
+            # Remote executors own worker processes; the in-process ones
+            # make this a no-op.
+            cluster.shutdown()
 
         skyline = result2.outputs.get(0, Block.empty(snapped.dimensions))
+        # On the procpool path the per-worker deltas were merged back
+        # into this stats object by the runtime, so the snapshot covers
+        # remote work too.
+        kernel_stats = codec.kernel_stats.snapshot()
         if registry is not None:
             # Which kernel path (uint64 fast vs packed-byte wide) served
             # this run, and how many rows went through it.
-            for name, value in codec.kernel_stats.snapshot().items():
+            for name, value in kernel_stats.items():
                 registry.inc("zkernel", name, value)
         total_seconds = time.perf_counter() - started
         run_span.set("skyline", skyline.size)
@@ -479,6 +527,8 @@ class SkylineEngine:
                 "d": dataset.dimensions,
                 "num_groups": pre.rule.num_groups,
                 "num_workers": cfg.num_workers,
+                "executor": cfg.executor,
+                "kernel_stats": kernel_stats,
             },
             phase2_partial=partial_result,
             trace=tracer if tracer.enabled else None,
@@ -494,3 +544,72 @@ def run_plan(
     """One-call convenience: ``run_plan("ZDG+ZS+ZM", dataset)``."""
     config = EngineConfig.from_plan_string(plan, **config_kwargs)
     return SkylineEngine(config).run(dataset)
+
+
+# ----------------------------------------------------------------------
+# the stateless engine boundary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunRequest:
+    """A pure, picklable description of one engine run.
+
+    ``execute(request)`` is a function of this value alone: the engine
+    keeps no per-run instance state, so requests can be executed in any
+    process — the coordinator, a worker, a batch harness — and under any
+    registered executor interchangeably.  Live observability handles
+    (an explicit ``tracer`` instance) are rejected because they cannot
+    cross a process boundary; use ``trace_out`` / ``metrics_out`` file
+    exports instead.
+    """
+
+    dataset: Dataset
+    config: EngineConfig
+
+    def __post_init__(self) -> None:
+        if self.config.tracer is not None:
+            raise ConfigurationError(
+                "RunRequest must be pure data: pass trace_out instead of "
+                "a live tracer instance"
+            )
+
+
+@dataclass
+class RunResult:
+    """The picklable distillation of a :class:`RunReport`.
+
+    Everything here is plain data (the skyline block, the summary row,
+    merged counters, and the kernel-stats snapshot carried explicitly —
+    ``KernelStats`` pickles empty by design, so the stats ride this
+    result instead of the codec).
+    """
+
+    plan: str
+    executor: str
+    skyline: Block
+    summary: Dict[str, object]
+    counters: Dict[str, Dict[str, int]]
+    kernel_stats: Dict[str, int]
+    details: Dict[str, object]
+
+    @classmethod
+    def from_report(cls, report: RunReport) -> "RunResult":
+        merged = Counters()
+        for job in report._jobs():
+            merged.merge(job.counters)
+        details = dict(report.details)
+        kernel_stats = dict(details.pop("kernel_stats", {}))
+        return cls(
+            plan=report.plan.label,
+            executor=str(details.get("executor", "simulated")),
+            skyline=report.skyline,
+            summary=report.summary(),
+            counters=merged.as_dict(),
+            kernel_stats=kernel_stats,
+            details=details,
+        )
+
+
+def execute(request: RunRequest) -> RunResult:
+    """Run one request end to end: the stateless engine entry point."""
+    report = SkylineEngine(request.config).run(request.dataset)
+    return RunResult.from_report(report)

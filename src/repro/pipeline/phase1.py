@@ -13,10 +13,16 @@ Algorithm 3's mapper, with combiners:
   candidate scale rather than input scale).
 * **reducer** — per group, compute the group's skyline candidates with
   the configured local algorithm (SB or ZS in the paper).
+
+The mapper/combiner/reducer are small **picklable** callables (plain
+dataclasses over plan fields, resolving the algorithm registry lazily)
+rather than closures over the plan: the process-pool executor ships the
+whole task — callable included — across the pool boundary.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -46,17 +52,21 @@ def _carry_z(merged: Block, sky_ids: np.ndarray) -> Optional[np.ndarray]:
     return z[positions]
 
 
-def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
-    """Build the candidate-computation job for a plan."""
-    local_algorithm = get_algorithm(plan.local_algorithm)
+@dataclass(frozen=True)
+class Phase1Mapper:
+    """Algorithm 3's mapper: prefilter, encode, route to groups."""
 
-    def mapper(block: Block, ctx: TaskContext) -> Iterable[Tuple[int, Block]]:
+    prefilter: bool
+
+    def __call__(
+        self, block: Block, ctx: TaskContext
+    ) -> Iterable[Tuple[int, Block]]:
         rule = ctx.cache.get(CACHE_RULE)
         codec = ctx.cache.get(CACHE_CODEC)
         points = block.points
         ids = block.ids
 
-        if plan.prefilter:
+        if self.prefilter:
             # Screen the block against the SZB-tree (the ZB-tree over the
             # sample skyline): region pruning makes this far cheaper than
             # an all-pairs test against the sample skyline.
@@ -86,23 +96,39 @@ def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
                 ids[mask], points[mask], zaddresses=zbatch[mask]
             )
 
-    def combiner(
-        gid: int, blocks: List[Block], ctx: TaskContext
+
+@dataclass(frozen=True)
+class Phase1Combiner:
+    """Per map task and group, reduce routed points to a local skyline."""
+
+    local_algorithm: str
+
+    def __call__(
+        self, gid: int, blocks: List[Block], ctx: TaskContext
     ) -> List[Block]:
+        algorithm = get_algorithm(self.local_algorithm)
         merged = Block.concat(blocks)
-        sky_points, sky_ids = local_algorithm(
-            merged.points, merged.ids, ctx.ops
-        )
+        sky_points, sky_ids = algorithm(merged.points, merged.ids, ctx.ops)
         ctx.counters.inc(
             "phase1", "combiner_pruned", merged.size - sky_points.shape[0]
         )
-        return [Block(sky_ids, sky_points, zaddresses=_carry_z(merged, sky_ids))]
+        return [
+            Block(sky_ids, sky_points, zaddresses=_carry_z(merged, sky_ids))
+        ]
 
-    def reducer(gid: int, blocks: List[Block], ctx: TaskContext) -> Block:
+
+@dataclass(frozen=True)
+class Phase1Reducer:
+    """Per group, compute the group's skyline candidates."""
+
+    local_algorithm: str
+
+    def __call__(
+        self, gid: int, blocks: List[Block], ctx: TaskContext
+    ) -> Block:
+        algorithm = get_algorithm(self.local_algorithm)
         merged = Block.concat(blocks)
-        sky_points, sky_ids = local_algorithm(
-            merged.points, merged.ids, ctx.ops
-        )
+        sky_points, sky_ids = algorithm(merged.points, merged.ids, ctx.ops)
         ctx.counters.inc("phase1", "candidates", sky_points.shape[0])
         # Per-group candidate counts — the distribution Figure 9 plots
         # (one histogram sample per reduce group).
@@ -110,9 +136,15 @@ def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
         ctx.observe("phase1.group_input_records", merged.size)
         return Block(sky_ids, sky_points, zaddresses=_carry_z(merged, sky_ids))
 
+
+def make_phase1_job(plan: PlanConfig) -> MapReduceJob:
+    """Build the candidate-computation job for a plan."""
+    # Validate the algorithm name eagerly so a bad plan fails in the
+    # coordinator, not inside a pool worker.
+    get_algorithm(plan.local_algorithm)
     return MapReduceJob(
         name="phase1-candidates",
-        mapper=mapper,
-        combiner=combiner,
-        reducer=reducer,
+        mapper=Phase1Mapper(prefilter=plan.prefilter),
+        combiner=Phase1Combiner(local_algorithm=plan.local_algorithm),
+        reducer=Phase1Reducer(local_algorithm=plan.local_algorithm),
     )

@@ -10,10 +10,15 @@ key; the reducer merges with the configured strategy:
 
 Each group's candidate set is dominance-free (it is a local skyline), so
 the Z-merge contract holds and the fold yields the exact global skyline.
+
+As in phase 1, the mapper/reducer callables are picklable dataclasses
+(or module-level functions) so the process-pool executor can ship them
+to worker processes.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
 from repro.algorithms.registry import get_algorithm
@@ -28,19 +33,21 @@ from repro.zorder.zmerge import zmerge_all
 _MERGE_KEY = 0
 
 
+def _merge_mapper(
+    block: Block, ctx: TaskContext
+) -> Iterable[Tuple[int, Block]]:
+    # Pure shuffle: candidates flow unchanged to the merge reducer.
+    yield _MERGE_KEY, block
+
+
 def make_phase2_job(plan: PlanConfig) -> MapReduceJob:
     """Build the candidate-merging job for a plan."""
-
-    def mapper(block: Block, ctx: TaskContext) -> Iterable[Tuple[int, Block]]:
-        # Pure shuffle: candidates flow unchanged to the merge reducer.
-        yield _MERGE_KEY, block
-
     if plan.merge_algorithm in ("ZM", "ZMP"):
         # ZMP's *final* round is a plain Z-merge fold; its partial round
         # is built by make_partial_merge_job below.
         reducer = _zmerge_reducer
     elif plan.merge_algorithm in ("ZS", "SB", "BNL"):
-        reducer = _make_algorithm_reducer(plan.merge_algorithm)
+        reducer = AlgorithmReducer(plan.merge_algorithm)
     else:  # pragma: no cover - PlanConfig validates earlier
         raise ConfigurationError(
             f"unknown merge algorithm {plan.merge_algorithm!r}"
@@ -48,9 +55,24 @@ def make_phase2_job(plan: PlanConfig) -> MapReduceJob:
 
     return MapReduceJob(
         name="phase2-merge",
-        mapper=mapper,
+        mapper=_merge_mapper,
         reducer=reducer,
     )
+
+
+@dataclass(frozen=True)
+class PartialMergeMapper:
+    """Spread candidate blocks over ``ways`` reduce keys (ZMP round 1)."""
+
+    ways: int
+
+    def __call__(
+        self, block: Block, ctx: TaskContext
+    ) -> Iterable[Tuple[int, Block]]:
+        if block.size == 0:
+            return
+        # Deterministic spread: key by the block's first record id.
+        yield int(block.ids[0]) % self.ways, block
 
 
 def make_partial_merge_job(ways: int) -> MapReduceJob:
@@ -66,15 +88,9 @@ def make_partial_merge_job(ways: int) -> MapReduceJob:
     if ways <= 0:
         raise ConfigurationError("ZMP needs a positive number of ways")
 
-    def mapper(block: Block, ctx: TaskContext) -> Iterable[Tuple[int, Block]]:
-        if block.size == 0:
-            return
-        # Deterministic spread: key by the block's first record id.
-        yield int(block.ids[0]) % ways, block
-
     return MapReduceJob(
         name="phase2-merge-partial",
-        mapper=mapper,
+        mapper=PartialMergeMapper(ways=ways),
         reducer=_zmerge_reducer,
     )
 
@@ -102,12 +118,16 @@ def _zmerge_reducer(key: int, blocks: List[Block], ctx: TaskContext) -> Block:
     return Block(ids, points, zaddresses=codec.as_zbatch(zs))
 
 
-def _make_algorithm_reducer(name: str):
-    algorithm = get_algorithm(name)
+@dataclass(frozen=True)
+class AlgorithmReducer:
+    """Concatenate candidates and run a registry algorithm over them."""
 
-    def reducer(key: int, blocks: List[Block], ctx: TaskContext) -> Block:
+    algorithm: str
+
+    def __call__(
+        self, key: int, blocks: List[Block], ctx: TaskContext
+    ) -> Block:
+        algorithm = get_algorithm(self.algorithm)
         merged = Block.concat(blocks)
         points, ids = algorithm(merged.points, merged.ids, ctx.ops)
         return Block(ids, points)
-
-    return reducer

@@ -157,8 +157,28 @@ class PipelineSupervisor:
         # same supervisor (e.g. a resume after a deadline abort) reuse
         # the live runtime — its cache and DFS survive, which is what
         # makes idempotent cache re-publication and attempt-scoped
-        # output resolution observable behaviours.
+        # output resolution observable behaviours.  On a process-pool
+        # executor the worker processes survive with it, so a resumed
+        # run() reuses warm workers; call :meth:`close` (or use the
+        # supervisor as a context manager) when done.
         self._runtime: Optional[MapReduceRuntime] = None
+
+    def close(self) -> None:
+        """Release the reusable runtime's cluster (idempotent).
+
+        Pool-backed executors hold real worker processes between run()
+        calls; closing terminates them.  The in-process executors treat
+        this as a no-op.
+        """
+        runtime = self._runtime
+        if runtime is not None:
+            runtime.cluster.shutdown()
+
+    def __enter__(self) -> "PipelineSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # entry point
@@ -714,4 +734,5 @@ def supervised_run(
 ) -> RunReport:
     """One-call convenience mirroring :func:`repro.pipeline.driver.run_plan`."""
     config = EngineConfig.from_plan_string(plan, **config_kwargs)
-    return PipelineSupervisor(config, supervisor).run(data, ids=ids)
+    with PipelineSupervisor(config, supervisor) as driver:
+        return driver.run(data, ids=ids)

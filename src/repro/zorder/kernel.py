@@ -95,6 +95,17 @@ class KernelStats:
         with self._lock:
             self._counts.clear()
 
+    def merge_snapshot(self, snapshot: Dict[str, int]) -> None:
+        """Fold another stats object's :meth:`snapshot` into this one.
+
+        Pickling deliberately empties the stats (see :meth:`__reduce__`),
+        so per-worker deltas must travel as explicit snapshots and be
+        merged coordinator-side — this is that merge.
+        """
+        with self._lock:
+            for name, value in snapshot.items():
+                self._counts[name] = self._counts.get(name, 0) + int(value)
+
     def __reduce__(self):
         # Counts are process-local telemetry (and the lock cannot
         # cross a pickle boundary): a pickled codec carries a fresh,

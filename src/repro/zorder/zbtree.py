@@ -97,7 +97,7 @@ class ZBLeaf:
 class ZBInternal:
     """Internal node: ordered children plus the covering RZ-region."""
 
-    __slots__ = ("children", "region")
+    __slots__ = ("children", "region", "_child_minpts")
 
     def __init__(
         self,
@@ -106,11 +106,42 @@ class ZBInternal:
         region: Optional[RZRegion] = None,
     ) -> None:
         self.children = children
+        self._child_minpts: Optional[np.ndarray] = None
         self.region = (
             region
             if region is not None
             else RZRegion(codec, children[0].data_minz, children[-1].data_maxz)
         )
+
+    def child_minpts(self) -> np.ndarray:
+        """Stacked ``(k, d)`` float64 matrix of child region min corners.
+
+        Cached so batched traversals pay the stacking cost once per node;
+        any mutation that reassigns ``children`` must call
+        :meth:`invalidate_child_cache`.
+        """
+        cached = self._child_minpts
+        if cached is None or cached.shape[0] != len(self.children):
+            cached = np.stack(
+                [child.region.minpt for child in self.children]
+            ).astype(np.float64)
+            self._child_minpts = cached
+        return cached
+
+    def invalidate_child_cache(self) -> None:
+        self._child_minpts = None
+
+    def __getstate__(self):
+        # The child-minpt cache is derived, process-local state: keeping
+        # it out of pickles makes equal-by-construction trees
+        # pickle-identical (the distributed cache's idempotent-republish
+        # check and the process pool's cache-bytes comparison rely on
+        # that), and shrinks what crosses the pool boundary.
+        return (self.children, self.region)
+
+    def __setstate__(self, state) -> None:
+        self.children, self.region = state
+        self._child_minpts = None
 
     @property
     def is_leaf(self) -> bool:
@@ -322,32 +353,43 @@ class ZBTree:
         if self.root is None or n == 0:
             return out
         counter = counter if counter is not None else OpCounter()
-        stack: List[Tuple[ZBNode, np.ndarray]] = [
-            (self.root, np.arange(n, dtype=np.int64))
-        ]
+        from repro.core.point import dominated_mask
+
+        # The min-corner feasibility test for a node ("can this subtree
+        # hold a dominator of probe p?") is evaluated at its *parent*,
+        # for all siblings in one broadcast, so per-node numpy dispatch
+        # overhead is paid once per fanout instead of once per child.
+        counter.nodes_visited += 1
+        counter.region_tests += n
+        root_minpt = self.root.region.minpt.astype(np.float64)
+        root_feasible = dominates_block(root_minpt, points)
+        root_idx = np.flatnonzero(root_feasible).astype(np.int64)
+        if root_idx.size == 0:
+            return out
+        stack: List[Tuple[ZBNode, np.ndarray]] = [(self.root, root_idx)]
         while stack:
             node, probe_idx = stack.pop()
             probe_idx = probe_idx[~out[probe_idx]]
             if probe_idx.size == 0:
                 continue
-            counter.nodes_visited += 1
-            counter.region_tests += probe_idx.size
-            # A subtree can dominate probe p only if minpt dominates p.
-            minpt = node.region.minpt.astype(np.float64)
-            feasible = dominates_block(minpt, points[probe_idx])
-            probe_idx = probe_idx[feasible]
-            if probe_idx.size == 0:
-                continue
             if node.is_leaf:
                 block = node.points  # type: ignore[union-attr]
                 counter.point_tests += probe_idx.size * block.shape[0]
-                from repro.core.point import dominated_mask
-
                 hit = dominated_mask(points[probe_idx], block)
                 out[probe_idx[hit]] = True
             else:
-                for child in node.children:  # type: ignore[union-attr]
-                    stack.append((child, probe_idx))
+                kids = node.children  # type: ignore[union-attr]
+                minpts = node.child_minpts()  # type: ignore[union-attr]
+                probes = points[probe_idx]
+                le = np.all(minpts[:, None, :] <= probes[None, :, :], axis=2)
+                lt = np.any(minpts[:, None, :] < probes[None, :, :], axis=2)
+                feasible = le & lt  # (k, p)
+                counter.nodes_visited += len(kids)
+                counter.region_tests += probe_idx.size * len(kids)
+                for ci, child in enumerate(kids):
+                    sub = probe_idx[feasible[ci]]
+                    if sub.size:
+                        stack.append((child, sub))
         return out
 
     def remove_dominated_by_block(

@@ -69,61 +69,99 @@ def zmerge(
 
 def _zmerge_scan(
     sky: ZBTree, src: ZBTree, counter: OpCounter
-) -> Tuple[List[ZBNode], List[np.ndarray], List[int], List[int]]:
+) -> Tuple[List[ZBNode], List[np.ndarray], List[np.ndarray], List[int]]:
     """BFS of ``src`` against ``sky`` with three-way region pruning.
 
     Mutates ``sky`` (UDominate deletions) and returns the material a
     caller needs to assemble the merged tree: grafted subtrees plus the
-    accepted leaf points with their ids and Z-addresses.
+    accepted leaf point blocks with their id blocks and Z-addresses.
+
+    The BFS runs level-batched: each frontier's min-corner dominator
+    probes go through one :meth:`ZBTree.dominated_mask_tree` walk and the
+    Lemma 1 incomparability tests through one broadcast, instead of one
+    tree walk per node.  Batching ahead of the leaf-acceptance deletions
+    is exact, not just conservative: a skyline point that dominates a
+    source region's min corner can never itself be deleted during the
+    scan — its deleter would be an accepted *source* point transitively
+    dominating the probed region's own points, contradicting the
+    contract that the source tree is dominance-free.  Deletions only
+    shrink the skyline, so batch-time "not dominated" verdicts are
+    final too.
     """
     grafts: List[ZBNode] = []
     accepted_points: List[np.ndarray] = []
-    accepted_ids: List[int] = []
+    accepted_ids: List[np.ndarray] = []
     accepted_zs: List[int] = []
 
     queue = deque([src.root])
     while queue:
-        node = queue.popleft()
-        counter.nodes_visited += 1
+        frontier = list(queue)
+        queue.clear()
+        counter.nodes_visited += len(frontier)
         if sky.root is None:
             # Every skyline point was deleted by earlier accepted points;
             # whatever remains of the source survives untouched.
-            grafts.append(node)
+            grafts.extend(frontier)
             continue
-        counter.region_tests += 1
-        if sky.is_dominated(node.region.minpt.astype(np.float64), counter):
-            # Some skyline point dominates the region's min corner, hence
-            # every point in the region: discard the subtree.
-            continue
-        counter.region_tests += 1
-        if _incomparable_with_tree(sky, node.region):
-            grafts.append(node)
-            continue
-        if node.is_leaf:
-            # Batched UDominate: one tree walk decides the whole leaf
-            # block, then one walk deletes the skyline points the
-            # accepted block dominates.  Deferring the deletions is safe
-            # because source points never dominate each other (the
-            # source tree is dominance-free), so a stale skyline point
-            # can never wrongly reject a later source point.
-            dominated = sky.dominated_mask_tree(
-                node.points, counter  # type: ignore[union-attr]
-            )
-            if not dominated.all():
-                keep = ~dominated
-                accepted = node.points[keep]  # type: ignore[union-attr]
-                accepted_points.extend(accepted)
-                accepted_ids.extend(
-                    int(i) for i in node.ids[keep]  # type: ignore[union-attr]
+        minpts = np.stack(
+            [node.region.minpt for node in frontier]
+        ).astype(np.float64)
+        maxpts = np.stack(
+            [node.region.maxpt for node in frontier]
+        ).astype(np.float64)
+        counter.region_tests += len(frontier)
+        dominated = sky.dominated_mask_tree(minpts, counter)
+        # Lemma 1 case 2 against the whole skyline tree, batched: the
+        # root region object is stable for the scan's duration (deletions
+        # keep stale, conservatively-large regions), so one broadcast
+        # against its corners covers the frontier.
+        counter.region_tests += len(frontier)
+        root_region = sky.root.region
+        rmin = root_region.minpt.astype(np.float64)
+        rmax = root_region.maxpt.astype(np.float64)
+        sky_may_dominate = np.all(rmin <= maxpts, axis=1) & np.any(
+            rmin < maxpts, axis=1
+        )
+        src_may_dominate = np.all(minpts <= rmax, axis=1) & np.any(
+            minpts < rmax, axis=1
+        )
+        incomparable = ~sky_may_dominate & ~src_may_dominate
+        for pos, node in enumerate(frontier):
+            if sky.root is None:
+                grafts.append(node)
+                continue
+            if dominated[pos]:
+                # Some skyline point dominates the region's min corner,
+                # hence every point in the region: discard the subtree.
+                continue
+            if incomparable[pos]:
+                grafts.append(node)
+                continue
+            if node.is_leaf:
+                # Batched UDominate: one tree walk decides the whole leaf
+                # block, then one walk deletes the skyline points the
+                # accepted block dominates.  Deferring the deletions is
+                # safe because source points never dominate each other
+                # (the source tree is dominance-free), so a stale skyline
+                # point can never wrongly reject a later source point.
+                leaf_dominated = sky.dominated_mask_tree(
+                    node.points, counter  # type: ignore[union-attr]
                 )
-                accepted_zs.extend(
-                    z
-                    for z, k in zip(node.zaddresses, keep)  # type: ignore[union-attr]
-                    if k
-                )
-                sky.remove_dominated_by_block(accepted, counter)
-        else:
-            queue.extend(node.children)  # type: ignore[union-attr]
+                if not leaf_dominated.all():
+                    keep = ~leaf_dominated
+                    accepted = node.points[keep]  # type: ignore[union-attr]
+                    accepted_points.append(accepted)
+                    accepted_ids.append(
+                        node.ids[keep]  # type: ignore[union-attr]
+                    )
+                    accepted_zs.extend(
+                        z
+                        for z, k in zip(node.zaddresses, keep)  # type: ignore[union-attr]
+                        if k
+                    )
+                    sky.remove_dominated_by_block(accepted, counter)
+            else:
+                queue.extend(node.children)  # type: ignore[union-attr]
 
     return grafts, accepted_points, accepted_ids, accepted_zs
 
@@ -159,7 +197,7 @@ def _rebuild_with(
     sky: ZBTree,
     grafts: List[ZBNode],
     accepted_points: List[np.ndarray],
-    accepted_ids: List[int],
+    accepted_ids: List[np.ndarray],
     accepted_zs: List[int],
 ) -> ZBTree:
     """Combine surviving skyline points, grafts, and accepted leaves."""
@@ -175,7 +213,9 @@ def _rebuild_with(
     if accepted_points:
         all_zs.extend(accepted_zs)
         blocks.append(np.vstack(accepted_points))
-        id_blocks.append(np.asarray(accepted_ids, dtype=np.int64))
+        id_blocks.append(
+            np.concatenate(accepted_ids).astype(np.int64, copy=False)
+        )
     if not blocks:
         return ZBTree(sky.codec, None, sky.leaf_capacity, sky.fanout)
     merged_points = np.vstack(blocks)
@@ -194,7 +234,7 @@ def _compose(
     sky: ZBTree,
     grafts: List[ZBNode],
     accepted_points: List[np.ndarray],
-    accepted_ids: List[int],
+    accepted_ids: List[np.ndarray],
     accepted_zs: List[int],
 ) -> ZBTree:
     """Assemble a fold result *without* rebuilding.
@@ -218,7 +258,7 @@ def _compose(
             ZBLeaf(
                 zs,
                 np.vstack(accepted_points),
-                np.asarray(accepted_ids, dtype=np.int64),
+                np.concatenate(accepted_ids).astype(np.int64, copy=False),
                 sky.codec,
                 region=RZRegion(sky.codec, min(zs), max(zs)),
             )

@@ -331,7 +331,9 @@ class TestSkylineIdenticalUnderFaults:
         return anticorrelated(900, 4, seed=2)
 
     @pytest.mark.parametrize("plan", PLANS)
-    @pytest.mark.parametrize("executor", ["simulated", "threaded"])
+    @pytest.mark.parametrize(
+        "executor", ["simulated", "threaded", "procpool"]
+    )
     def test_fault_free_equivalence(self, dataset, plan, executor):
         kwargs = dict(num_groups=8, num_workers=4, seed=0)
         clean = run_plan(plan, dataset, **kwargs)
@@ -371,7 +373,11 @@ class TestSkylineIdenticalUnderFaults:
         threaded = run_plan(
             "ZDG+ZS+ZM", dataset, executor="threaded", **kwargs
         )
+        pooled = run_plan(
+            "ZDG+ZS+ZM", dataset, executor="procpool", **kwargs
+        )
         assert simulated.fault_summary() == threaded.fault_summary()
+        assert simulated.fault_summary() == pooled.fault_summary()
 
     def test_fault_plan_accepts_spec_string(self, dataset):
         report = run_plan(
