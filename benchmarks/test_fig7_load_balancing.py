@@ -5,9 +5,14 @@ Grid/Angle degrade as the dataset grows and especially as dimensionality
 rises past ~5; at high d the full ZDG stack wins by multiples.
 """
 
-from conftest import once
+import os
+
+from conftest import RESULTS_DIR, once
 
 from repro.bench import experiments
+from repro.bench.harness import ResultTable
+from repro.data.synthetic import generate
+from repro.pipeline.driver import run_plan
 
 
 def _series(table, plan, x_col, y_col="makespan_cost"):
@@ -66,3 +71,70 @@ class TestFig7DimsSweep:
         zdg = _series(table, "ZDG+ZS+ZM", "d")
         grid = _series(table, "Grid+ZS", "d")
         assert zdg[10] < grid[10]
+
+
+class TestFig7RealCoreSeconds:
+    """Simulated cost model vs measured core-seconds.
+
+    The sweeps above plot the *simulated* per-worker cost units the
+    load balancer optimises.  This run cross-checks that model against
+    reality: one fig-7-shaped workload on the process-pool executor,
+    whose drain loop stamps every task with its measured CPU time
+    (``getrusage`` deltas — valid because each worker process drains
+    its queue serially).  The emitted table puts abstract cost units
+    and real core-seconds side by side.
+    """
+
+    def test_core_seconds_recorded_per_task(self, benchmark, emit):
+        dataset = generate("independent", 20_000, 8, seed=7)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        report = once(
+            benchmark,
+            lambda: run_plan(
+                "ZDG+ZS+ZM",
+                dataset,
+                num_groups=16,
+                num_workers=4,
+                num_input_splits=8,
+                seed=7,
+                executor="procpool",
+                # Live observation (the per-task CPU histogram) is only
+                # collected when observability is on.
+                metrics_out=os.path.join(
+                    RESULTS_DIR, "fig7e_metrics.jsonl"
+                ),
+            ),
+        )
+        metrics = report.metrics()
+        cpu = metrics.histogram("cluster.task_cpu_seconds")
+        wall = metrics.histogram("cluster.task_seconds")
+        # Every pooled task is stamped, pairwise with its wall sample.
+        assert cpu, "procpool run recorded no per-task CPU seconds"
+        assert len(cpu) == len(wall)
+        assert all(sample >= 0.0 for sample in cpu)
+        assert sum(cpu) > 0.0
+        ledgers = report.phase1.reduce_metrics.active_ledgers()
+        table = ResultTable(
+            "fig7e: simulated cost vs measured core-seconds",
+            ["quantity", "value"],
+        )
+        table.add(quantity="tasks", value=len(cpu))
+        table.add(
+            quantity="simulated_cost_units",
+            value=sum(w.cost_units for w in ledgers),
+        )
+        table.add(
+            quantity="simulated_makespan_cost",
+            value=report.phase1_makespan_cost,
+        )
+        table.add(
+            quantity="wall_seconds_total", value=round(sum(wall), 4)
+        )
+        table.add(
+            quantity="core_seconds_total", value=round(sum(cpu), 4)
+        )
+        table.add(
+            quantity="cpu_per_wall",
+            value=round(sum(cpu) / max(sum(wall), 1e-9), 3),
+        )
+        emit(table, "fig7e")

@@ -32,6 +32,7 @@ speculation) is rejected, as on the threaded cluster.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -72,19 +73,38 @@ def worker_cache():
     return _WORKER_CACHE
 
 
+def _process_cpu_seconds() -> float:
+    """User + system CPU seconds consumed by this process so far."""
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return float(usage.ru_utime + usage.ru_stime)
+    except ImportError:  # pragma: no cover - non-Unix
+        times = os.times()
+        return float(times.user + times.system)
+
+
 def _drain_worker(
     phase: str, worker_id: int, items: List[Tuple[int, object]]
-) -> List[Tuple[int, str, object, float]]:
+) -> List[Tuple[int, str, object, float, float]]:
     """Run one worker's task queue serially inside a pool process.
 
     Mirrors ``ThreadedCluster``'s drain: one task's failure must not
     abort the rest of the queue, so each task is isolated and errors
     come back as data (exceptions must cross the pickle boundary, so
     context is folded into the message instead of ``__cause__``).
+
+    Each surviving task carries two clocks home: wall-clock ``elapsed``
+    and the process's *CPU* delta (``getrusage``) across the task body.
+    The queue is drained serially in a dedicated process, so the delta
+    is attributable to the task; it is what lets the fig-7 load-balance
+    bench compare the simulated cost model against real core-seconds.
     """
-    out: List[Tuple[int, str, object, float]] = []
+    out: List[Tuple[int, str, object, float, float]] = []
     for index, task in items:
         start = time.perf_counter()
+        cpu_start = _process_cpu_seconds()
         try:
             result, cost = task()
         except Exception as exc:  # noqa: BLE001 — isolation point
@@ -95,10 +115,13 @@ def _drain_worker(
                     f"task {index} in phase {phase!r} failed "
                     f"on worker {worker_id}: {exc!r}"
                 )
-            out.append((index, "error", wrapped, 0.0))
+            out.append((index, "error", wrapped, 0.0, 0.0))
             continue
         elapsed = time.perf_counter() - start
-        out.append((index, "ok", (result, int(cost)), elapsed))
+        cpu = max(0.0, _process_cpu_seconds() - cpu_start)
+        if hasattr(result, "cpu_seconds"):
+            result.cpu_seconds = cpu
+        out.append((index, "ok", (result, int(cost)), elapsed, cpu))
     return out
 
 
@@ -293,7 +316,7 @@ class ProcessPoolCluster(SimulatedCluster):
                 if queue
             ]
             for future in futures:
-                for index, status, payload, elapsed in future.result():
+                for index, status, payload, elapsed, cpu in future.result():
                     worker = placement[index]
                     if status == "error":
                         errors.append((index, payload))
@@ -306,6 +329,9 @@ class ProcessPoolCluster(SimulatedCluster):
                     results[index] = result
                     if self.observer is not None:
                         self.observer.observe("cluster.task_seconds", elapsed)
+                        self.observer.observe(
+                            "cluster.task_cpu_seconds", cpu
+                        )
         finally:
             if segment is not None:
                 segment.close()
@@ -322,4 +348,37 @@ class ProcessPoolCluster(SimulatedCluster):
         return results
 
 
-__all__ = ["ProcessPoolCluster", "worker_cache"]
+class SharedProcessPoolCluster(ProcessPoolCluster):
+    """A process pool that survives the engine's per-run ``shutdown()``.
+
+    ``SkylineEngine.run`` tears its cluster down in a ``finally`` —
+    correct for per-run ownership, wasteful for a pool shared across
+    many runs (the serving registry's rebuild pool).  Here
+    :meth:`shutdown` is a no-op and the owner calls :meth:`close` when
+    it is done; worker processes and their installed distributed cache
+    persist between runs.  Publishing *different* cache bytes still
+    retires the current workers (they hold the stale cache), so the
+    next round starts fresh ones — correctness over reuse.
+    """
+
+    def publish_cache(self, cache) -> None:
+        payload = pickle.dumps(cache, protocol=pickle.HIGHEST_PROTOCOL)
+        if payload != self._cache_bytes:
+            super().shutdown()
+            self._cache_bytes = payload
+
+    def shutdown(self) -> None:
+        """No-op: per-run teardown must not kill a shared pool."""
+
+    def close(self) -> None:
+        """Really terminate the worker processes (owner-only)."""
+        super().shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = ["ProcessPoolCluster", "SharedProcessPoolCluster", "worker_cache"]

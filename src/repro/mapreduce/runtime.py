@@ -162,6 +162,12 @@ class RemoteTaskResult:
     span_attrs: Dict[str, object] = field(default_factory=dict)
     kernel_stats: Dict[str, int] = field(default_factory=dict)
     observations: List[Tuple[str, float]] = field(default_factory=list)
+    #: real CPU seconds the task body consumed in its worker process,
+    #: stamped by the pool's drain loop (stays 0.0 off the pool).  The
+    #: cluster also emits it as the ``cluster.task_cpu_seconds``
+    #: histogram — this field is per-task provenance, not re-observed
+    #: coordinator-side (that would double-count).
+    cpu_seconds: float = 0.0
 
 
 @dataclass

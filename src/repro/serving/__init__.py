@@ -35,12 +35,13 @@ from repro.serving.admission import (
     AdmissionController,
     Ticket,
 )
-from repro.serving.cache import ResultCache
+from repro.serving.cache import MergeCache, MergedSkyline, ResultCache
 from repro.serving.client import (
     ReplayReport,
     SkylineClient,
     WorkloadSpec,
     replay_workload,
+    shed_ratios_from_admission,
 )
 from repro.serving.faults import ServingFaultPlan
 from repro.serving.health import HealthMonitor
@@ -49,6 +50,7 @@ from repro.serving.registry import (
     DriftPolicy,
     PublishResult,
     RebuildConfig,
+    RebuildPool,
 )
 from repro.serving.resilience import (
     CircuitBreaker,
@@ -80,6 +82,8 @@ __all__ = [
     "DatasetStore",
     "DriftPolicy",
     "HealthMonitor",
+    "MergeCache",
+    "MergedSkyline",
     "Mutation",
     "MutationResult",
     "MutationWAL",
@@ -87,6 +91,7 @@ __all__ = [
     "Query",
     "QueryResult",
     "RebuildConfig",
+    "RebuildPool",
     "ReplayReport",
     "ResultCache",
     "RetryBudget",
@@ -105,4 +110,5 @@ __all__ = [
     "floor_dominated_mask",
     "floor_k_dominated_mask",
     "replay_workload",
+    "shed_ratios_from_admission",
 ]

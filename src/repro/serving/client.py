@@ -213,6 +213,9 @@ class ReplayReport:
     degraded_partial: int = 0
     #: terminal typed failures by exception class name
     failures: Dict[str, int] = field(default_factory=dict)
+    #: per-shard shed ratio over this replay (sharded services only;
+    #: empty for single services or when no shard saw traffic)
+    shard_shed_ratios: Dict[int, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -268,7 +271,30 @@ class ReplayReport:
             "degraded_stale": self.degraded_stale,
             "degraded_partial": self.degraded_partial,
             "failures": dict(self.failures),
+            "shard_shed_ratios": {
+                int(sid): ratio
+                for sid, ratio in sorted(self.shard_shed_ratios.items())
+            },
+            "shed_fairness": self.shed_fairness,
         }
+
+    @property
+    def shed_fairness(self) -> float:
+        """Max/min per-shard shed ratio — 1.0 is perfectly even load
+        shedding, large values mean one shard sheds far more than its
+        peers (a routing or capacity imbalance).  With fewer than two
+        shards reporting traffic the question is moot and this is 1.0;
+        when some shard shed nothing while another shed, the ratio is
+        ``inf`` (reported as-is; JSON emitters should guard)."""
+        ratios = [r for r in self.shard_shed_ratios.values()]
+        if len(ratios) < 2:
+            return 1.0
+        low, high = min(ratios), max(ratios)
+        if high == 0.0:
+            return 1.0
+        if low == 0.0:
+            return float("inf")
+        return high / low
 
     @property
     def availability(self) -> float:
@@ -280,6 +306,30 @@ class ReplayReport:
         if admitted <= 0:
             return 1.0
         return (self.reads + self.writes) / admitted
+
+
+def shed_ratios_from_admission(
+    before: Dict[int, Dict[str, Dict[str, int]]],
+    after: Dict[int, Dict[str, Dict[str, int]]],
+) -> Dict[int, float]:
+    """Per-shard shed ratio from admission-counter snapshots taken
+    around a replay: delta rejected over delta (admitted + rejected),
+    summed across request classes.  Shards absent from ``before``
+    (e.g. adopted mid-replay) count from zero; shards with no traffic
+    in the window are omitted."""
+    ratios: Dict[int, float] = {}
+    for sid, stats in after.items():
+        prior = before.get(sid, {})
+        rejected = 0
+        admitted = 0
+        for klass, counters in stats.items():
+            base = prior.get(klass, {})
+            rejected += counters["rejected"] - base.get("rejected", 0)
+            admitted += counters["admitted"] - base.get("admitted", 0)
+        total = admitted + rejected
+        if total > 0:
+            ratios[int(sid)] = rejected / total
+    return ratios
 
 
 def _build_query_pool(
@@ -377,6 +427,12 @@ def replay_workload(
             on_retry=_count_retry,
         )
 
+    # Sharded routers expose per-shard admission counters; snapshot
+    # them so the report can attribute shedding to individual shards.
+    admission_before: Dict[int, Dict[str, Dict[str, int]]] = {}
+    if hasattr(service, "shard_admission_stats"):
+        admission_before = service.shard_admission_stats()
+
     started = perf_counter()
     for op in range(spec.operations):
         report.operations += 1
@@ -447,6 +503,10 @@ def replay_workload(
             report.write_latencies.append(perf_counter() - began)
             report.queue_waits.append(result.queue_wait_seconds)
     report.elapsed_seconds = perf_counter() - started
+    if hasattr(service, "shard_admission_stats"):
+        report.shard_shed_ratios = shed_ratios_from_admission(
+            admission_before, service.shard_admission_stats()
+        )
     final = service.registry.snapshot(spec.dataset)
     report.final_version = final.version
     report.final_skyline_size = final.skyline_size

@@ -86,6 +86,7 @@ from repro.extensions.kdominant import k_dominant_skyline
 from repro.extensions.ranking import rank_skyline, top_k_skyline
 from repro.extensions.subspace import subspace_skyline
 from repro.observability.metrics import MetricsRegistry
+from repro.serving.cache import MergeCache, MergedSkyline, ResultCache
 from repro.serving.faults import ServingFaultPlan
 from repro.serving.health import HealthMonitor
 from repro.serving.registry import (
@@ -94,6 +95,7 @@ from repro.serving.registry import (
     DriftPolicy,
     PublishResult,
     RebuildConfig,
+    RebuildPool,
 )
 from repro.serving.resilience import CircuitBreaker
 from repro.serving.service import (
@@ -141,6 +143,14 @@ class RouterConfig:
     #: snapshot retention ring per shard registry
     keep_versions: int = 8
     checkpoint_every: int = 8
+    #: merged-skyline cache entries, keyed by the version vector
+    #: (+ lost-shard set); 0 disables the coordinator merge cache and
+    #: every full/topk query re-merges (the pre-cache behaviour)
+    merge_cache_entries: int = 32
+    #: coordinator-level finished-answer cache (subspace/kdominant/topk
+    #: payloads keyed by vector + lost set + query fingerprint);
+    #: 0 disables it
+    result_cache_entries: int = 256
     #: per-shard service knobs (admission, cache, intra-shard faults);
     #: one config shared by every shard service
     service_config: Optional[ServiceConfig] = None
@@ -162,6 +172,33 @@ class RouterConfig:
             )
         if self.heartbeat_every_ops < 0:
             raise ConfigurationError("heartbeat_every_ops must be >= 0")
+        if self.merge_cache_entries < 0:
+            raise ConfigurationError("merge_cache_entries must be >= 0")
+        if self.result_cache_entries < 0:
+            raise ConfigurationError("result_cache_entries must be >= 0")
+
+
+@dataclass(frozen=True)
+class _CachedAnswer:
+    """A finished coordinator answer plus the masked-row count its
+    certificate needs.  ``ids``/``points``/``scores`` delegate to the
+    payload so :func:`~repro.serving.cache.payload_crc` guards the
+    cached arrays like any other cache entry."""
+
+    payload: _Payload
+    masked: int = 0
+
+    @property
+    def ids(self) -> Optional[np.ndarray]:
+        return self.payload.ids
+
+    @property
+    def points(self) -> Optional[np.ndarray]:
+        return self.payload.points
+
+    @property
+    def scores(self) -> Optional[np.ndarray]:
+        return self.payload.scores
 
 
 class _Shard:
@@ -268,6 +305,7 @@ class ShardedSkylineService:
         fault_plan: Optional[ServingFaultPlan] = None,
         drift: Optional[DriftPolicy] = None,
         rebuild: Optional[RebuildConfig] = None,
+        rebuild_pool: Optional[RebuildPool] = None,
         tracer: Any = None,
     ) -> None:
         self.name = name
@@ -278,6 +316,10 @@ class ShardedSkylineService:
         self.durability_dir = durability_dir
         self._drift = drift
         self._rebuild = rebuild
+        #: shared across all shard registries — writer threads ship
+        #: drift recomputes here and keep accepting mutations; lifecycle
+        #: belongs to the caller (the router never closes it)
+        self.rebuild_pool = rebuild_pool
         self._service_config = self.config.service_config or ServiceConfig()
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[0] == 0:
@@ -316,6 +358,7 @@ class ShardedSkylineService:
                 keep_versions=self.config.keep_versions,
                 durability_dir=shard_dir,
                 checkpoint_every=self.config.checkpoint_every,
+                rebuild_pool=rebuild_pool,
             )
             publish = registry.register(
                 name, shard_pts, ids=shard_ids, codec=codec,
@@ -336,6 +379,21 @@ class ShardedSkylineService:
             self._vector[sid] = publish.version
             for pid in shard_ids:
                 self._owner[int(pid)] = sid
+        #: coordinator fast path: merged skylines keyed by the version
+        #: vector, finished answers keyed by vector + query fingerprint.
+        #: Both pass ``metrics=None``-adjacent choices deliberately: the
+        #: merge cache has its own counters; the result cache would
+        #: otherwise pollute the per-shard ``serving.cache_*`` counters.
+        self._merge_cache: Optional[MergeCache] = (
+            MergeCache(self.config.merge_cache_entries, metrics=metrics)
+            if self.config.merge_cache_entries > 0
+            else None
+        )
+        self._result_cache: Optional[ResultCache] = (
+            ResultCache(self.config.result_cache_entries, metrics=None)
+            if self.config.result_cache_entries > 0
+            else None
+        )
         self.registry = _RouterRegistryView(self)
         self.health = HealthMonitor(
             name,
@@ -489,6 +547,7 @@ class ShardedSkylineService:
                 keep_versions=self.config.keep_versions,
                 durability_dir=shard.durability_dir,
                 checkpoint_every=self.config.checkpoint_every,
+                rebuild_pool=self.rebuild_pool,
             )
             publish = registry.adopt(
                 self.name, drift=self._drift, rebuild=self._rebuild
@@ -713,13 +772,115 @@ class ShardedSkylineService:
         ids = np.concatenate([snaps[sid].ids for sid in sorted(snaps)])
         return _by_id(pts, ids)
 
+    def _merged_entry(
+        self,
+        vector: Dict[int, int],
+        snaps: Dict[int, Snapshot],
+        lost: List[int],
+    ) -> MergedSkyline:
+        """The merged, masked, id-sorted skyline for exactly this
+        version vector (restricted to the shards in ``snaps``).
+
+        Cache hit: one dict probe, no shard work at all.  Miss: fold
+        the per-shard skyline trees — the retained tree for every shard
+        whose version is unchanged since the last merge, the fresh
+        snapshot tree for each shard that published — with
+        ``zmerge_all(..., consume=False)``.  Snapshot trees are shared
+        with shard readers, so the non-consuming fold (which clones via
+        the stored Z-addresses, never re-encoding) is mandatory, and it
+        is also what makes re-merges *incremental*: unchanged shards
+        cost a cheap clone instead of a full candidate re-encode."""
+        sub_vector = {sid: int(vector[sid]) for sid in snaps}
+        cache = self._merge_cache
+        if cache is not None:
+            entry = cache.get(sub_vector, lost)
+            if entry is not None:
+                return entry
+        trees = []
+        reused = 0
+        fresh = 0
+        for sid in sorted(snaps):
+            snap = snaps[sid]
+            if cache is not None:
+                tree, was_reused = cache.shard_tree(
+                    sid, sub_vector[sid], snap.sky_tree
+                )
+            else:
+                tree, was_reused = snap.sky_tree, False
+            if tree.root is None:
+                continue
+            trees.append(tree)
+            if was_reused:
+                reused += 1
+            else:
+                fresh += 1
+        if trees:
+            merged = zmerge_all(trees, OpCounter(), consume=False)
+            _zs, pts, ids = merged.collect()
+            pts, ids = _by_id(pts, ids)
+        else:
+            d = self.codec.dimensions
+            pts = np.empty((0, d), dtype=np.float64)
+            ids = np.empty(0, dtype=np.int64)
+        pts, ids, masked = self._mask_lost(pts, ids, list(lost))
+        entry = MergedSkyline(
+            vector=sub_vector,
+            lost=tuple(sorted(int(s) for s in lost)),
+            points=pts,
+            ids=ids,
+            masked=masked,
+        )
+        if cache is not None:
+            cache.store(entry)
+            cache.note_merge(reused, fresh)
+        return entry
+
+    def _merged_union(
+        self, entry: MergedSkyline, snaps: Dict[int, Snapshot]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Alive union for the entry's vector, computed once and shared
+        by every later query on the same vector (a benign write race
+        recomputes identical arrays)."""
+        if entry.union_ids is None or entry.union_points is None:
+            entry.union_points, entry.union_ids = self._alive_union(snaps)
+        return entry.union_points, entry.union_ids
+
+    def _result_key(
+        self,
+        vector: Dict[int, int],
+        lost: List[int],
+        request: Query,
+    ) -> Tuple[str, int, str]:
+        """Coordinator answer-cache key.  The full vector (not just its
+        sum) plus the lost set is part of the fingerprint: vectors with
+        equal sums but different shard states must never collide."""
+        vec = ",".join(f"{sid}:{v}" for sid, v in sorted(vector.items()))
+        lost_part = ",".join(str(sid) for sid in sorted(lost))
+        return ResultCache.make_key(
+            self.name,
+            sum(vector.values()),
+            f"{vec}|{lost_part}|{request.fingerprint()}",
+        )
+
+    def _store_result(
+        self,
+        vector: Dict[int, int],
+        lost: List[int],
+        request: Query,
+        payload: _Payload,
+        masked: int,
+    ) -> None:
+        if self._result_cache is None:
+            return
+        self._result_cache.store(
+            self._result_key(vector, lost, request),
+            _CachedAnswer(payload=payload, masked=int(masked)),
+        )
+
     def _merged_skyline_size(self) -> int:
         vector, snaps, alive, _lost = self._pin()
-        candidates = [
-            (snaps[s.sid].sky_points, snaps[s.sid].sky_ids) for s in alive
-        ]
-        _pts, ids = self._zmerge_candidates(candidates)
-        return int(ids.shape[0])
+        sub_vector = {shard.sid: vector[shard.sid] for shard in alive}
+        return self._merged_entry(sub_vector, snaps, []).size
 
     # ------------------------------------------------------------------
     # public query path
@@ -741,54 +902,101 @@ class ShardedSkylineService:
         cached = False
         queue_wait = 0.0
         if request.kind in ("full", "subspace", "topk"):
-            sub_query = (
-                Query.full(
-                    self.name, timeout_seconds=request.timeout_seconds
-                )
-                if request.kind == "topk"
-                else request
-            )
-            payloads, newly_lost, cached = self._scatter(
-                sub_query, alive, snaps, op
-            )
-            lost = sorted(lost + newly_lost)
-            answered = {sid for sid, _ in payloads}
-            snaps = {
-                sid: snap for sid, snap in snaps.items() if sid in answered
-            }
-            candidates = [(p.points, p.ids) for _sid, p in payloads]
+            # Coordinator fast path: the pinned vector (+ lost set) is
+            # the cache identity.  A hit skips the scatter entirely —
+            # the cached merge was computed from the exact same shard
+            # states, so the answer is bit-identical by construction.
+            pin_vector = {shard.sid: vector[shard.sid] for shard in alive}
+            payload = None
             if request.kind == "full":
-                pts, ids = self._zmerge_candidates(candidates)
-                pts, ids, masked = self._mask_lost(pts, ids, lost)
-                payload = _Payload(points=pts, ids=ids)
-            elif request.kind == "subspace":
-                pts, ids = self._union_candidates(candidates)
-                if ids.shape[0]:
-                    pts, ids = subspace_skyline(
-                        pts, list(request.dims), ids=ids
+                if self._merge_cache is not None:
+                    entry = self._merge_cache.get(pin_vector, lost)
+                    if entry is not None:
+                        payload = _Payload(
+                            points=entry.points, ids=entry.ids
+                        )
+                        masked = entry.masked
+                        cached = True
+            elif self._result_cache is not None:
+                hit, value = self._result_cache.lookup(
+                    self._result_key(pin_vector, lost, request)
+                )
+                if hit:
+                    payload = value.payload
+                    masked = value.masked
+                    cached = True
+            if payload is None:
+                sub_query = (
+                    Query.full(
+                        self.name, timeout_seconds=request.timeout_seconds
                     )
+                    if request.kind == "topk"
+                    else request
+                )
+                payloads, newly_lost, cached = self._scatter(
+                    sub_query, alive, snaps, op
+                )
+                lost = sorted(lost + newly_lost)
+                answered = {sid for sid, _ in payloads}
+                snaps = {
+                    sid: snap
+                    for sid, snap in snaps.items()
+                    if sid in answered
+                }
+                merged_vector = {sid: vector[sid] for sid in answered}
+                if request.kind == "full":
+                    entry = self._merged_entry(merged_vector, snaps, lost)
+                    masked = entry.masked
+                    payload = _Payload(points=entry.points, ids=entry.ids)
+                elif request.kind == "subspace":
+                    candidates = [
+                        (p.points, p.ids) for _sid, p in payloads
+                    ]
+                    pts, ids = self._union_candidates(candidates)
+                    if ids.shape[0]:
+                        pts, ids = subspace_skyline(
+                            pts, list(request.dims), ids=ids
+                        )
+                    pts, ids = _by_id(pts, ids)
+                    pts, ids, masked = self._mask_lost(
+                        pts, ids, lost, dims=list(request.dims)
+                    )
+                    payload = _Payload(points=pts, ids=ids)
+                    self._store_result(
+                        merged_vector, lost, request, payload, masked
+                    )
+                else:
+                    entry = self._merged_entry(merged_vector, snaps, lost)
+                    masked = entry.masked
+                    payload = self._exec_topk_merged(
+                        request, entry.points, entry.ids, snaps, entry
+                    )
+                    self._store_result(
+                        merged_vector, lost, request, payload, masked
+                    )
+        elif request.kind == "kdominant":
+            pin_vector = {shard.sid: vector[shard.sid] for shard in alive}
+            payload = None
+            if self._result_cache is not None:
+                hit, value = self._result_cache.lookup(
+                    self._result_key(pin_vector, lost, request)
+                )
+                if hit:
+                    payload = value.payload
+                    masked = value.masked
+                    cached = True
+            if payload is None:
+                pts, ids = self._alive_union(snaps)
+                if ids.shape[0]:
+                    pts, ids = k_dominant_skyline(pts, request.k, ids=ids)
                 pts, ids = _by_id(pts, ids)
                 pts, ids, masked = self._mask_lost(
-                    pts, ids, lost, dims=list(request.dims)
+                    pts, ids, lost, k=request.k
                 )
                 payload = _Payload(points=pts, ids=ids)
-            else:
-                sky_pts, sky_ids = self._zmerge_candidates(candidates)
-                sky_pts, sky_ids, masked = self._mask_lost(
-                    sky_pts, sky_ids, lost
+                self._store_result(
+                    pin_vector, lost, request, payload, masked
                 )
-                payload = self._exec_topk_merged(
-                    request, sky_pts, sky_ids, snaps
-                )
-        elif request.kind == "kdominant":
-            pts, ids = self._alive_union(snaps)
-            if ids.shape[0]:
-                pts, ids = k_dominant_skyline(pts, request.k, ids=ids)
-            pts, ids = _by_id(pts, ids)
-            pts, ids, masked = self._mask_lost(
-                pts, ids, lost, k=request.k
-            )
-            payload = _Payload(points=pts, ids=ids)
         else:  # explain
             payload = self._exec_explain_union(request, snaps, lost)
         certificate = self._logical_certificate(
@@ -878,16 +1086,24 @@ class ShardedSkylineService:
         sky_pts: np.ndarray,
         sky_ids: np.ndarray,
         snaps: Dict[int, Snapshot],
+        entry: Optional[MergedSkyline] = None,
     ) -> _Payload:
         """Mirror of the single service's topk executor over the merged
         (already id-sorted) skyline; dominance/representative scores
         count over the alive union — both are order-invariant counts,
         so feeding the id-sorted union matches the single service
-        bit-for-bit."""
+        bit-for-bit.  With a merge-cache ``entry`` the union is
+        memoised on it, shared by every query pinned to the vector."""
+
+        def union() -> Tuple[np.ndarray, np.ndarray]:
+            if entry is not None:
+                return self._merged_union(entry, snaps)
+            return self._alive_union(snaps)
+
         if sky_ids.shape[0] == 0:
             return _Payload(points=sky_pts, ids=sky_ids)
         if request.method == "representative":
-            data_pts, _data_ids = self._alive_union(snaps)
+            data_pts, _data_ids = union()
             points, ids = top_k_skyline(
                 sky_pts, sky_ids, data_pts, request.k
             )
@@ -895,7 +1111,7 @@ class ShardedSkylineService:
         else:
             data_pts = None
             if request.method == "dominance":
-                data_pts, _data_ids = self._alive_union(snaps)
+                data_pts, _data_ids = union()
             points, ids, scores = rank_skyline(
                 sky_pts,
                 sky_ids,
@@ -1206,6 +1422,41 @@ class ShardedSkylineService:
             }
         return out
 
+    def shard_admission_stats(self) -> Dict[int, Dict[str, Dict[str, int]]]:
+        """Per-shard admission counters (read/mutate classes): the raw
+        material for shed-rate fairness in
+        :class:`~repro.serving.client.ReplayReport`.  Down shards are
+        omitted (their controllers died with the service)."""
+        out: Dict[int, Dict[str, Dict[str, int]]] = {}
+        for sid in sorted(self._shards):
+            shard = self._shards[sid]
+            if shard.service is None:
+                continue
+            out[sid] = shard.service.admission.stats()
+        return out
+
+    def flush_rebuilds(self, timeout: float = 60.0) -> None:
+        """Quiesce pooled rebuilds on every live shard registry (no-op
+        without a :class:`RebuildPool`); deterministic final state for
+        tests and benchmarks."""
+        if self.rebuild_pool is None:
+            return
+        for sid in sorted(self._shards):
+            shard = self._shards[sid]
+            if shard.down or shard.registry is None:
+                continue
+            shard.registry.flush_rebuilds(self.name, timeout=timeout)
+
+    def rebuild_status(self) -> Dict[int, Dict[str, Any]]:
+        """Per-shard pooled-rebuild bookkeeping (down shards omitted)."""
+        out: Dict[int, Dict[str, Any]] = {}
+        for sid in sorted(self._shards):
+            shard = self._shards[sid]
+            if shard.down or shard.registry is None:
+                continue
+            out[sid] = shard.registry.rebuild_status(self.name)
+        return out
+
     def stats(self) -> Dict[str, Any]:
         with self._write_lock:
             vector = {
@@ -1219,6 +1470,16 @@ class ShardedSkylineService:
             "shards": self.shard_states(),
             "health": self.health.status(),
             "operations": self._ops,
+            "merge_cache": (
+                self._merge_cache.stats()
+                if self._merge_cache is not None
+                else None
+            ),
+            "result_cache": (
+                self._result_cache.stats()
+                if self._result_cache is not None
+                else None
+            ),
         }
 
     def __repr__(self) -> str:

@@ -26,6 +26,14 @@ is the skyline of its own point set — exactly what the pipeline's phase-1
 reducers emit).  Under that contract the result is the skyline of the
 union of the two point sets, which the test suite verifies against the
 oracle.  Use :func:`zmerge_all` to fold many candidate trees.
+
+Ownership: the merge **consumes its inputs** by default.  The skyline
+accumulator is mutated in place by UDominate deletions, and source
+subtrees are grafted into the result wholesale, where later folds'
+deletions can reach them.  After a consuming merge no input tree is safe
+to reuse.  :func:`zmerge_all` accepts ``consume=False`` to fold private
+clones instead, leaving every input intact — the mode long-lived trees
+(e.g. the serving router's retained per-shard skyline trees) require.
 """
 
 from __future__ import annotations
@@ -286,7 +294,9 @@ _REBUILD_INTERVAL = 4
 
 
 def zmerge_all(
-    trees: Iterable[ZBTree], counter: Optional[OpCounter] = None
+    trees: Iterable[ZBTree],
+    counter: Optional[OpCounter] = None,
+    consume: bool = True,
 ) -> ZBTree:
     """Fold many dominance-free candidate trees into one skyline tree.
 
@@ -294,13 +304,26 @@ def zmerge_all(
     intermediate instead of rebuilding; the full rebuild is amortised —
     once every :data:`_REBUILD_INTERVAL` folds (bounding how degenerate
     the composite's region pruning can get) and once after the last
-    fold.  A single-tree iterable is passed through untouched.  Raises
-    ``ValueError`` for an empty iterable.
+    fold.  Raises ``ValueError`` for an empty iterable.
+
+    With the default ``consume=True`` the fold **destroys its inputs**:
+    the first tree becomes the accumulator and is mutated by UDominate
+    deletions, while later trees' subtrees are grafted into composites
+    that still-later deletions can mutate.  Even a single-tree iterable
+    is passed through by reference.  Feeding the same tree list twice —
+    or feeding trees that anything else still reads, such as snapshot
+    skyline trees — silently corrupts them.
+
+    With ``consume=False`` every input is folded through a private clone
+    (:func:`repro.zorder.zbtree.rebuild` — a collect + build reusing the
+    stored Z-addresses, so no re-encoding) and the returned tree shares
+    no nodes with any input: all inputs remain intact and reusable.
     """
     counter = counter if counter is not None else OpCounter()
+    clone = (lambda tree: tree) if consume else rebuild
     iterator = iter(trees)
     try:
-        result = next(iterator)
+        result = clone(next(iterator))
     except StopIteration:
         raise ValueError("zmerge_all needs at least one tree") from None
     dirty = 0
@@ -308,9 +331,9 @@ def zmerge_all(
         if tree.root is None:
             continue
         if result.root is None:
-            result = tree
+            result = clone(tree)
             continue
-        scan = _zmerge_scan(result, tree, counter)
+        scan = _zmerge_scan(result, clone(tree), counter)
         result = _compose(result, *scan)
         dirty += 1
         if dirty >= _REBUILD_INTERVAL:

@@ -1,0 +1,245 @@
+"""Pooled drift rebuilds: the RebuildPool and the registry's async
+recompute path.
+
+The contract: pooled mode changes *when* the maintainer is compacted,
+never *what* any reader or writer observes.  Incremental maintenance is
+exact, so the deferred swap is compaction, not correction — a pooled
+registry's snapshots stay bit-identical (``state_digest()``) to an
+inline registry fed the same mutations, mutations are never blocked on
+a recompute, and WAL replay (recover/adopt) always runs inline.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.exceptions import ConfigurationError
+from repro.serving import (
+    DatasetRegistry,
+    DriftPolicy,
+    Mutation,
+    Query,
+    RebuildConfig,
+    RebuildPool,
+    RouterConfig,
+    ShardedSkylineService,
+)
+from repro.zorder.encoding import quantize_dataset
+
+N, D = 400, 4
+
+
+@pytest.fixture(scope="module")
+def grid():
+    rng = np.random.default_rng(9)
+    raw = rng.random((N, D))
+    snapped, codec = quantize_dataset(Dataset(raw, name="g"), bits_per_dim=10)
+    return snapped.points, codec
+
+
+def _registry(grid, pool, drift=None, durability_dir=None):
+    points, codec = grid
+    registry = DatasetRegistry(
+        rebuild_pool=pool, durability_dir=durability_dir
+    )
+    registry.register(
+        "ds",
+        points.copy(),
+        codec=codec,
+        drift=drift or DriftPolicy(max_deletes=8),
+        rebuild=RebuildConfig(pooled=pool is not None),
+    )
+    return registry
+
+
+def _churn(registry, rounds=20, batch=4):
+    for i in range(0, rounds * batch, batch):
+        registry.delete("ds", list(range(i, i + batch)))
+
+
+class TestRebuildPool:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RebuildPool(num_workers=0)
+
+    def test_submit_after_close_rejected(self):
+        pool = RebuildPool(num_workers=1, executor="simulated")
+        pool.close()
+        assert pool.closed
+        with pytest.raises(ConfigurationError):
+            pool.submit(lambda: None)
+
+    def test_stats_shape(self):
+        with RebuildPool(num_workers=2, executor="simulated") as pool:
+            stats = pool.stats()
+        assert stats["executor"] == "simulated"
+        assert stats["num_workers"] == 2
+        assert stats["submitted"] == 0
+
+
+class TestPooledRegistry:
+    def test_digest_identical_to_inline(self, grid):
+        with RebuildPool(num_workers=2, executor="simulated") as pool:
+            pooled = _registry(grid, pool)
+            _churn(pooled)
+            pooled.flush_rebuilds()
+            pooled_digest = pooled.snapshot("ds").state_digest()
+            status = pooled.rebuild_status("ds")
+        inline = _registry(grid, None)
+        _churn(inline)
+        assert pooled_digest == inline.snapshot("ds").state_digest()
+        # Drift actually fired on the pool (otherwise this test is
+        # vacuous) and nothing is left in flight after the flush.
+        assert status["pooled_rebuilds"] >= 1
+        assert not status["in_flight"]
+        assert pool.stats()["failed"] == 0
+
+    def test_mutations_not_blocked_by_inflight_rebuild(self, grid):
+        with RebuildPool(num_workers=1, executor="simulated") as pool:
+            registry = _registry(grid, pool)
+            gate = threading.Event()
+            started = threading.Event()
+            original = registry._pooled_skyline_ids
+
+            def stalled(state, points, ids):
+                started.set()
+                assert gate.wait(5.0)
+                return original(state, points, ids)
+
+            registry._pooled_skyline_ids = stalled
+            _churn(registry, rounds=3)  # crosses the drift budget
+            assert started.wait(5.0), "no pooled rebuild was requested"
+            # The recompute is stalled on the pool; the writer must
+            # keep accepting mutations meanwhile.
+            registry.delete("ds", [200, 201])
+            version_during = registry.snapshot("ds").version
+            gate.set()
+            registry.flush_rebuilds()
+            assert registry.snapshot("ds").version >= version_during
+            status = registry.rebuild_status("ds")
+            # The stalled job came back to a moved version: superseded.
+            assert status["pooled_superseded"] >= 1
+
+    def test_superseded_result_changes_nothing(self, grid):
+        with RebuildPool(num_workers=1, executor="simulated") as pool:
+            registry = _registry(grid, pool)
+            gate = threading.Event()
+            started = threading.Event()
+            original = registry._pooled_skyline_ids
+
+            def stalled(state, points, ids):
+                started.set()
+                assert gate.wait(5.0)
+                return original(state, points, ids)
+
+            registry._pooled_skyline_ids = stalled
+            _churn(registry, rounds=3)
+            assert started.wait(5.0)
+            registry.delete("ds", [210, 211])
+            before = registry.snapshot("ds").state_digest()
+            gate.set()
+            registry.flush_rebuilds()
+            # The flush may run a *fresh* rebuild (re-armed drift), but
+            # adopting it must not change observable state.
+            assert registry.snapshot("ds").state_digest() == before
+
+    def test_recompute_failure_is_contained(self, grid):
+        with RebuildPool(num_workers=1, executor="simulated") as pool:
+            registry = _registry(grid, pool)
+
+            def boom(state, points, ids):
+                raise RuntimeError("injected recompute failure")
+
+            registry._pooled_skyline_ids = boom
+            _churn(registry, rounds=3)
+            # Writer is unharmed; the failure is counted, not raised.
+            registry.delete("ds", [220])
+            deadline = 5.0
+            import time as _time
+
+            start = _time.monotonic()
+            while (
+                pool.stats()["failed"] == 0
+                and _time.monotonic() - start < deadline
+            ):
+                _time.sleep(0.01)
+            assert pool.stats()["failed"] >= 1
+            assert not registry.rebuild_status("ds")["in_flight"]
+            registry.delete("ds", [221])  # still serving mutations
+
+    def test_adopt_replays_inline_never_on_pool(self, grid, tmp_path):
+        points, codec = grid
+        with RebuildPool(num_workers=1, executor="simulated") as pool:
+            origin = _registry(grid, pool, durability_dir=str(tmp_path))
+            _churn(origin)
+            origin.flush_rebuilds()
+            origin.delete("ds", [230, 231])  # WAL tail past a checkpoint
+            want = origin.snapshot("ds").state_digest()
+            submitted_before = pool.stats()["submitted"]
+            takeover = DatasetRegistry(
+                rebuild_pool=pool, durability_dir=str(tmp_path)
+            )
+            takeover.adopt(
+                "ds",
+                drift=DriftPolicy(max_deletes=8),
+                rebuild=RebuildConfig(pooled=True),
+            )
+            assert takeover.snapshot("ds").state_digest() == want
+            # Replay is deterministic and single-threaded: nothing was
+            # shipped to the pool while reconstructing.
+            assert pool.stats()["submitted"] == submitted_before
+
+    def test_flush_without_pool_is_noop(self, grid):
+        registry = _registry(grid, None)
+        registry.flush_rebuilds()  # must not raise
+        assert registry.rebuild_status("ds")["pooled"] is False
+
+
+class TestPooledRouter:
+    def test_sharded_pooled_identity(self, grid):
+        points, codec = grid
+        ids = np.arange(N, dtype=np.int64)
+        drift = DriftPolicy(max_deletes=6)
+
+        def build(pool):
+            return ShardedSkylineService(
+                "ds",
+                points.copy(),
+                ids=ids,
+                codec=codec,
+                config=RouterConfig(num_shards=2),
+                drift=drift,
+                rebuild=RebuildConfig(pooled=pool is not None),
+                rebuild_pool=pool,
+            )
+
+        def drive(router):
+            for i in range(0, 80, 4):
+                router.mutate(
+                    Mutation.delete(
+                        "ds", np.arange(i, i + 4, dtype=np.int64)
+                    )
+                )
+            return router.query(Query.full("ds"))
+
+        with RebuildPool(num_workers=2, executor="simulated") as pool:
+            with build(pool) as pooled:
+                got = drive(pooled)
+                pooled.flush_rebuilds()
+                pooled_digests = {
+                    sid: shard.registry.snapshot("ds").state_digest()
+                    for sid, shard in pooled._shards.items()
+                }
+                status = pooled.rebuild_status()
+        with build(None) as inline:
+            want = drive(inline)
+            inline_digests = {
+                sid: shard.registry.snapshot("ds").state_digest()
+                for sid, shard in inline._shards.items()
+            }
+        np.testing.assert_array_equal(got.ids, want.ids)
+        np.testing.assert_array_equal(got.points, want.points)
+        assert pooled_digests == inline_digests
+        assert sum(s["pooled_rebuilds"] for s in status.values()) >= 1

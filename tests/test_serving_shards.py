@@ -705,3 +705,224 @@ class TestClientFacade:
             state = router.shard_states()[2]
             assert not state["down"]
             assert state["last_failover_identical"] is True
+
+
+# ----------------------------------------------------------------------
+# coordinator merge cache
+# ----------------------------------------------------------------------
+class TestMergeCacheIdentity:
+    """The cached read path is invisible except for being faster.
+
+    Every answer produced from the merge cache, the result cache, or an
+    incremental re-merge must be bit-identical to the uncached
+    scatter-gather answer — which is itself bit-identical to a single
+    unsharded service.
+    """
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_repeat_queries_hit_and_stay_identical(self, shards):
+        rng = np.random.default_rng(70)
+        points, ids = _grid(rng, 300), np.arange(300, dtype=np.int64)
+        single = _single(points, ids)
+        with _router(points, ids, shards) as router:
+            for query in _all_variants():
+                first = router.query(query)
+                second = router.query(query)
+                want = single.query(query)
+                _assert_same_answer(first, want, f"first {query.kind}")
+                _assert_same_answer(second, want, f"second {query.kind}")
+                assert second.cached, query.kind
+            stats = router.stats()
+            assert stats["merge_cache"]["hits"] > 0
+            assert stats["result_cache"]["hits"] > 0
+
+    def test_single_shard_mutation_remerges_incrementally(self):
+        rng = np.random.default_rng(71)
+        points, ids = _grid(rng, 400), np.arange(400, dtype=np.int64)
+        single = _single(points, ids)
+        with _router(points, ids, 4) as router:
+            router.query(Query.full("ds"))
+            # Delete ids owned by exactly one shard: the other three
+            # shards keep their versions, so the re-merge should fold
+            # retained trees with fresh ones.
+            sid = sorted(router._shards)[0]
+            victims = np.array(
+                [pid for pid, owner in router._owner.items()
+                 if owner == sid][:3],
+                dtype=np.int64,
+            )
+            mutation = Mutation.delete("ds", victims)
+            router.mutate(mutation)
+            single.mutate(mutation)
+            got = router.query(Query.full("ds"))
+            _assert_same_answer(got, single.query(Query.full("ds")))
+            stats = router.stats()["merge_cache"]
+            assert stats["incremental"] >= 1
+            assert stats["trees_reused"] >= 1
+
+    def test_disabled_caches_still_identical(self):
+        rng = np.random.default_rng(72)
+        points, ids = _grid(rng, 250), np.arange(250, dtype=np.int64)
+        single = _single(points, ids)
+        config = RouterConfig(
+            num_shards=3, merge_cache_entries=0, result_cache_entries=0
+        )
+        with ShardedSkylineService(
+            "ds", points, ids=ids, codec=CODEC, config=config,
+            drift=DriftPolicy.never(),
+        ) as router:
+            for query in _all_variants():
+                got = router.query(query)
+                _assert_same_answer(got, single.query(query), query.kind)
+            stats = router.stats()
+            assert stats["merge_cache"] is None
+            assert stats["result_cache"] is None
+
+    def test_negative_cache_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RouterConfig(merge_cache_entries=-1)
+        with pytest.raises(ConfigurationError):
+            RouterConfig(result_cache_entries=-1)
+
+    def test_mutation_invalidates_via_version_vector(self):
+        rng = np.random.default_rng(73)
+        points, ids = _grid(rng, 300), np.arange(300, dtype=np.int64)
+        single = _single(points, ids)
+        with _router(points, ids, 4) as router:
+            assert not router.query(Query.full("ds")).cached
+            assert router.query(Query.full("ds")).cached
+            extra = _grid(rng, 8)
+            new_ids = np.arange(1000, 1008, dtype=np.int64)
+            mutation = Mutation.insert("ds", extra, new_ids)
+            router.mutate(mutation)
+            single.mutate(mutation)
+            # New vector -> the old entry no longer matches.
+            after = router.query(Query.full("ds"))
+            assert not after.cached
+            _assert_same_answer(after, single.query(Query.full("ds")))
+            assert router.query(Query.full("ds")).cached
+
+
+class TestMergeCacheSemantics:
+    """Version-vector keying on the cache object itself: a publish on
+    one shard invalidates exactly the keys containing that shard's old
+    version, and a reader pinned to an old vector keeps seeing its own
+    merge."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        shards=st.integers(min_value=2, max_value=5),
+        publishes=st.lists(
+            st.integers(min_value=0, max_value=4), min_size=1, max_size=8
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_publish_invalidates_exactly_affected_keys(
+        self, seed, shards, publishes
+    ):
+        from repro.serving import MergeCache, MergedSkyline
+
+        rng = np.random.default_rng(seed)
+        cache = MergeCache(max_entries=64)
+        vector = {sid: 1 for sid in range(shards)}
+
+        def entry_for(vec):
+            pts = rng.random((2, 3))
+            return MergedSkyline(
+                vector=dict(vec), lost=(),
+                points=pts,
+                ids=np.arange(2, dtype=np.int64),
+            )
+
+        stored = {}
+        first = entry_for(vector)
+        cache.store(first)
+        stored[cache.key(vector, ())] = first
+        for publish in publishes:
+            sid = publish % shards
+            old_vector = dict(vector)
+            vector[sid] += 1
+            # Pinned read: the old vector still answers from its own
+            # merge — a newer publish never leaks into it.
+            old_key = cache.key(old_vector, ())
+            if old_key in stored:
+                got = cache.get(old_vector, ())
+                assert got is stored[old_key]
+            # The new vector has no entry until someone merges it.
+            assert cache.get(vector, ()) is None
+            fresh = entry_for(vector)
+            cache.store(fresh)
+            stored[cache.key(vector, ())] = fresh
+            assert cache.get(vector, ()) is fresh
+
+    def test_lost_shards_get_their_own_key(self):
+        from repro.serving import MergeCache, MergedSkyline
+
+        cache = MergeCache(max_entries=8)
+        vector = {0: 3, 1: 5}
+        whole = MergedSkyline(
+            vector=dict(vector), lost=(),
+            points=np.zeros((1, 2)), ids=np.array([7], dtype=np.int64),
+        )
+        partial = MergedSkyline(
+            vector=dict(vector), lost=(1,),
+            points=np.ones((1, 2)), ids=np.array([9], dtype=np.int64),
+        )
+        cache.store(whole)
+        cache.store(partial)
+        assert cache.get(vector, ()) is whole
+        assert cache.get(vector, (1,)) is partial
+
+
+# ----------------------------------------------------------------------
+# shed-rate fairness
+# ----------------------------------------------------------------------
+class TestShedFairness:
+    def test_ratios_from_admission_deltas(self):
+        from repro.serving import shed_ratios_from_admission
+
+        before = {
+            0: {"read": {"admitted": 10, "rejected": 0}},
+            1: {"read": {"admitted": 5, "rejected": 5}},
+        }
+        after = {
+            0: {"read": {"admitted": 40, "rejected": 10}},
+            1: {"read": {"admitted": 25, "rejected": 15}},
+            # shard adopted mid-replay: counted from zero
+            2: {"read": {"admitted": 9, "rejected": 1}},
+            # shard with no traffic in the window: omitted
+            3: {"read": {"admitted": 0, "rejected": 0}},
+        }
+        ratios = shed_ratios_from_admission(before, after)
+        assert ratios == {0: 0.25, 1: 1 / 3, 2: 0.1}
+
+    def test_fairness_edge_cases(self):
+        from repro.serving import ReplayReport
+
+        report = ReplayReport()
+        assert report.shed_fairness == 1.0  # no shards
+        report.shard_shed_ratios = {0: 0.2}
+        assert report.shed_fairness == 1.0  # one shard: moot
+        report.shard_shed_ratios = {0: 0.0, 1: 0.0}
+        assert report.shed_fairness == 1.0  # nobody shed
+        report.shard_shed_ratios = {0: 0.0, 1: 0.2}
+        assert report.shed_fairness == float("inf")
+        report.shard_shed_ratios = {0: 0.1, 1: 0.4}
+        assert report.shed_fairness == pytest.approx(4.0)
+        assert "shed_fairness" in report.summary()
+
+    def test_replay_collects_per_shard_ratios(self):
+        rng = np.random.default_rng(74)
+        points, ids = _grid(rng, 300), np.arange(300, dtype=np.int64)
+        with _router(points, ids, 3) as router:
+            report = replay_workload(
+                router,
+                WorkloadSpec(
+                    dataset="ds", operations=40, read_fraction=0.8,
+                    seed=5,
+                ),
+            )
+        # Healthy unthrottled run: every shard saw traffic, nobody shed.
+        assert set(report.shard_shed_ratios) == {0, 1, 2}
+        assert all(r == 0.0 for r in report.shard_shed_ratios.values())
+        assert report.shed_fairness == 1.0

@@ -154,3 +154,89 @@ class TestZMergeAll:
             return sorted(map(tuple, pts))
 
         assert run([0, 1, 2, 3]) == run([3, 1, 0, 2])
+
+
+class TestZMergeAllOwnership:
+    """The consuming default vs ``consume=False``.
+
+    The default fold mutates its first tree and grafts nodes from the
+    rest — fine for throwaway per-run trees, a latent double-use hazard
+    for long-lived ones (the sharded router folds retained per-shard
+    snapshot trees on every cache miss).
+    """
+
+    def _chunks(self, seed=11, k=4):
+        rng = np.random.default_rng(seed)
+        return [
+            rng.integers(0, 32, (70, 3)).astype(float) for _ in range(k)
+        ]
+
+    def test_consuming_default_mutates_inputs(self, codec):
+        # Regression pin for the documented hazard: after a default
+        # fold, the input trees are NOT safe to reuse.  If this test
+        # ever fails, the consuming default has changed and the
+        # ownership docs (and the router's consume=False) are stale.
+        chunks = self._chunks()
+        trees = [
+            skyline_tree(codec, chunk, id_offset=1000 * i)
+            for i, chunk in enumerate(chunks)
+        ]
+        before = [sorted(tree.ids().tolist()) for tree in trees]
+        zmerge_all(trees)
+        after = [sorted(tree.ids().tolist()) for tree in trees]
+        assert before != after, (
+            "consuming zmerge_all no longer mutates its inputs — "
+            "update the Ownership docs in repro.zorder.zmerge"
+        )
+
+    def test_consume_false_leaves_inputs_intact(self, codec):
+        chunks = self._chunks(seed=12)
+        trees = [
+            skyline_tree(codec, chunk, id_offset=1000 * i)
+            for i, chunk in enumerate(chunks)
+        ]
+        before = [
+            (sorted(tree.ids().tolist()),
+             sorted(map(tuple, tree.points())))
+            for tree in trees
+        ]
+        merged = zmerge_all(trees, consume=False)
+        assert is_skyline_of(merged.points(), np.vstack(chunks))
+        after = [
+            (sorted(tree.ids().tolist()),
+             sorted(map(tuple, tree.points())))
+            for tree in trees
+        ]
+        assert before == after
+
+    def test_double_fold_is_stable(self, codec):
+        # The router's exact usage pattern: fold the same retained
+        # trees twice (two cache misses over an unchanged shard) and
+        # expect byte-identical answers both times, matching the
+        # consuming oracle on fresh trees.
+        chunks = self._chunks(seed=13)
+
+        def fresh():
+            return [
+                skyline_tree(codec, chunk, id_offset=1000 * i)
+                for i, chunk in enumerate(chunks)
+            ]
+
+        def canon(tree):
+            ids = tree.ids()
+            order = np.argsort(ids, kind="stable")
+            return ids[order].tolist(), tree.points()[order].tolist()
+
+        retained = fresh()
+        first = canon(zmerge_all(retained, consume=False))
+        second = canon(zmerge_all(retained, consume=False))
+        oracle = canon(zmerge_all(fresh()))
+        assert first == second == oracle
+
+    def test_consume_false_single_tree_is_not_passthrough(self, codec):
+        # A lone tree must still come back as an independent copy —
+        # callers are promised the result is theirs to consume.
+        tree = skyline_tree(codec, np.array([[1.0, 2.0, 3.0]]))
+        merged = zmerge_all([tree], consume=False)
+        assert merged is not tree
+        assert merged.ids().tolist() == tree.ids().tolist()
