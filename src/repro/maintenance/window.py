@@ -60,10 +60,36 @@ class SlidingWindowSkyline:
             self._maintainer.delete([expired])
         return point_id
 
-    def extend(self, points: np.ndarray) -> None:
-        """Append many points in arrival order."""
-        for row in np.asarray(points, dtype=np.float64):
-            self.append(row)
+    def extend(self, points: np.ndarray) -> np.ndarray:
+        """Append a batch in arrival order; one maintainer insert and
+        one delete regardless of batch size.
+
+        Final window state is identical to per-point :meth:`append`
+        (same ids, same survivors, same skyline): batch rows that the
+        batch itself would immediately expire never reach the
+        maintainer, and everything that falls out of the window leaves
+        in a single delete.  Returns the assigned ids of *all* batch
+        rows, expired-in-batch ones included.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise DatasetError("need an (n, d) point matrix")
+        n = points.shape[0]
+        ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        self._next_id += n
+        if n == 0:
+            return ids
+        # Only the batch tail can survive: rows before it are pushed
+        # out by the rest of the batch alone.
+        keep = min(n, self.window_size)
+        self._maintainer.insert_block(points[n - keep:], ids[n - keep:])
+        self._window.extend(int(i) for i in ids[n - keep:])
+        expired = []
+        while len(self._window) > self.window_size:
+            expired.append(self._window.popleft())
+        if expired:
+            self._maintainer.delete(expired)
+        return ids
 
     def window_ids(self) -> Tuple[int, ...]:
         """Ids currently inside the window, oldest first."""

@@ -58,11 +58,15 @@ class SkylineClient:
         dataset: str,
         retry_policy: Optional[RetryPolicy] = None,
         retry_budget: Optional[RetryBudget] = None,
+        hub=None,
     ) -> None:
         self.service = service
         self.dataset = dataset
         self.retry_policy = retry_policy
         self.retry_budget = retry_budget
+        #: a repro.streaming.SubscriptionHub attached to the service's
+        #: registry; enables subscribe()/subscribe_from()
+        self.hub = hub
         self._calls = 0
 
     def _call(self, fn: Callable[[], object]):
@@ -145,6 +149,53 @@ class SkylineClient:
     @property
     def version(self) -> int:
         return self.service.registry.version(self.dataset)
+
+    # -- streaming -----------------------------------------------------
+    def _require_hub(self):
+        if self.hub is None:
+            raise ConfigurationError(
+                "SkylineClient(hub=...) is required for subscriptions; "
+                "attach a repro.streaming.SubscriptionHub to the "
+                "service's registry and pass it here"
+            )
+        return self.hub
+
+    def subscribe(self, max_pending: Optional[int] = None):
+        """Subscribe to skyline diffs from the current version.
+
+        Returns a :class:`repro.streaming.Subscription`; iterate it (or
+        call ``get(timeout)``) for :class:`repro.streaming.SkylineDiff`
+        events.  The subscription's ``start_version`` /
+        ``start_sky_ids`` are the baseline the diffs apply to.
+        """
+        return self._require_hub().subscribe(
+            self.dataset, max_pending=max_pending
+        )
+
+    def subscribe_from(
+        self, version: int, max_pending: Optional[int] = None
+    ):
+        """Resume a diff cursor from ``version`` (replays retained
+        diffs, or starts with a full-state sync when out of
+        retention)."""
+        return self._require_hub().subscribe_from(
+            self.dataset, version, max_pending=max_pending
+        )
+
+    def stream(self, timeout: Optional[float] = None):
+        """Iterator of skyline diffs from the current version onward —
+        the one-liner subscription: ``for diff in client.stream(1.0)``.
+
+        With a ``timeout``, iteration ends after that long with no new
+        event; without one it blocks until the subscription is closed.
+        The subscription is released when iteration stops.
+        """
+        subscription = self.subscribe()
+        try:
+            for event in subscription.events(timeout):
+                yield event
+        finally:
+            subscription.close()
 
 
 # ----------------------------------------------------------------------

@@ -46,7 +46,7 @@ import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -363,6 +363,9 @@ class DatasetRegistry:
         self.rebuild_pool = rebuild_pool
         self._states: Dict[str, _DatasetState] = {}
         self._lock = threading.Lock()
+        #: called with each freshly published Snapshot (see
+        #: add_publish_hook for the contract)
+        self._publish_hooks: List[Callable[[Snapshot], None]] = []
 
     @property
     def durable(self) -> bool:
@@ -463,6 +466,54 @@ class DatasetRegistry:
             drift=drift,
             rebuild=rebuild,
         )
+
+    # ------------------------------------------------------------------
+    # publish hooks
+    # ------------------------------------------------------------------
+    def add_publish_hook(
+        self, hook: Callable[[Snapshot], None]
+    ) -> None:
+        """Call ``hook(snapshot)`` after every snapshot publication.
+
+        The contract is strict, because hooks run on the writer thread
+        *under the dataset's writer lock*, immediately after the
+        atomic snapshot swap (readers already see the new version):
+
+        * a hook must be fast — O(diff computation), never O(dataset) —
+          and must never block on consumers (hand off to bounded,
+          non-blocking queues; see ``repro.streaming.hub``);
+        * a hook must not call back into mutation or writer-lock-taking
+          registry APIs (``insert``/``delete``/``snapshot_at``/
+          ``recover``) — ``snapshot()`` is safe;
+        * a hook exception is contained: counted in
+          ``serving.publish_hook_errors``, never unpublishing the
+          version or failing the mutation.
+
+        Hooks also fire for recovery/adopt republishes (same dataset,
+        same or reconstructed version) — consumers use the snapshot's
+        version to recognise replays.
+        """
+        with self._lock:
+            self._publish_hooks.append(hook)
+
+    def remove_publish_hook(
+        self, hook: Callable[[Snapshot], None]
+    ) -> None:
+        with self._lock:
+            try:
+                self._publish_hooks.remove(hook)
+            except ValueError:
+                pass
+
+    def _notify_publish(self, snapshot: Snapshot) -> None:
+        with self._lock:
+            hooks = list(self._publish_hooks)
+        for hook in hooks:
+            try:
+                hook(snapshot)
+            except Exception:
+                if self.metrics is not None:
+                    self.metrics.inc(SERVING_GROUP, "publish_hook_errors")
 
     # ------------------------------------------------------------------
     # reads
@@ -853,6 +904,7 @@ class DatasetRegistry:
         # in between.
         state.snapshot = snapshot
         state.publishes_since_checkpoint += 1
+        self._notify_publish(snapshot)
         if self.metrics is not None:
             self.metrics.inc(SERVING_GROUP, "publishes")
             if rebuilt:

@@ -1,0 +1,200 @@
+"""Time-based sliding-window skyline (the streaming companion of the
+count-based :class:`~repro.maintenance.window.SlidingWindowSkyline`).
+
+"Show me the best trade-offs among records from the last H time units."
+Timestamps are **logical**: the caller supplies a non-decreasing clock
+(record sequence numbers, event times from the stream, or published
+registry versions) rather than the wall clock, so window expiration is
+a deterministic function of the replayed stream — the property the WAL
+recovery path relies on (expirations replay exactly; they are ordinary
+delete batches, not a new record type).
+
+Unlike the count-based window, points carry **caller-supplied ids** (the
+same ids the serving registry knows them by), so windowed skylines and
+their diffs speak the dataset's id space directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import DatasetError
+from repro.maintenance.maintainer import SkylineMaintainer
+from repro.zorder.encoding import ZGridCodec
+
+
+class TimeWindowSkyline:
+    """Skyline over points whose timestamp is within ``horizon`` of the
+    newest observed time.
+
+    A point with timestamp ``t`` is inside the window while
+    ``t > now - horizon`` (half-open: a point exactly ``horizon`` old
+    has expired).  ``now`` only moves forward — it is the maximum
+    timestamp ever observed, or whatever :meth:`advance_to` pushed it
+    to.
+    """
+
+    def __init__(self, codec: ZGridCodec, horizon: float) -> None:
+        if not (horizon > 0):
+            raise DatasetError("horizon must be positive")
+        self.codec = codec
+        self.horizon = float(horizon)
+        self._maintainer = SkylineMaintainer(codec)
+        #: (timestamp, id) in arrival order; timestamps non-decreasing
+        self._entries: Deque[Tuple[float, int]] = deque()
+        self.now = float("-inf")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of points currently inside the window."""
+        return len(self._entries)
+
+    @property
+    def skyline_size(self) -> int:
+        return self._maintainer.skyline_size
+
+    def skyline(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current window skyline as ``(points, ids)``."""
+        return self._maintainer.skyline()
+
+    def window_ids(self) -> Tuple[int, ...]:
+        """Ids currently inside the window, oldest first."""
+        return tuple(pid for _, pid in self._entries)
+
+    # ------------------------------------------------------------------
+    def append(
+        self, point: Sequence[float], point_id: int, timestamp: float
+    ) -> List[int]:
+        """Append one point; returns the ids this append expired."""
+        return self.extend(
+            np.asarray(point, dtype=np.float64)[None, :],
+            [int(point_id)],
+            [float(timestamp)],
+        )
+
+    def extend(
+        self,
+        points: np.ndarray,
+        ids: Sequence[int],
+        timestamps: Sequence[float],
+    ) -> List[int]:
+        """Append a batch in arrival order; one maintainer insert and
+        (at most) one delete regardless of batch size.
+
+        ``timestamps`` must be non-decreasing within the batch and not
+        precede the window's current ``now`` — logical time only moves
+        forward.  Points already expired relative to the batch's newest
+        timestamp are never inserted (they would enter and immediately
+        leave).  Returns the ids expired by this batch (previously
+        inside the window), oldest first.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if points.ndim != 2 or ids_arr.shape != (points.shape[0],):
+            raise DatasetError("need (n, d) points and matching ids")
+        if ts.shape != (points.shape[0],):
+            raise DatasetError("need one timestamp per point")
+        if points.shape[0] == 0:
+            return []
+        if np.any(np.diff(ts) < 0):
+            raise DatasetError("timestamps must be non-decreasing")
+        if self._entries and ts[0] < self._entries[-1][0]:
+            raise DatasetError(
+                f"timestamp {ts[0]} precedes the newest window entry "
+                f"({self._entries[-1][0]}); logical time moves forward"
+            )
+        new_now = max(self.now, float(ts[-1]))
+        cutoff = new_now - self.horizon
+        # Only batch rows still alive at the batch's end enter the
+        # window (same final state as per-point processing).
+        alive = ts > cutoff
+        if alive.any():
+            self._maintainer.insert_block(points[alive], ids_arr[alive])
+            for pid, stamp in zip(ids_arr[alive], ts[alive]):
+                self._entries.append((float(stamp), int(pid)))
+        return self.advance_to(new_now)
+
+    def advance_to(self, now: float) -> List[int]:
+        """Move the clock forward and expire everything older than
+        ``now - horizon`` in a single maintainer delete."""
+        now = float(now)
+        if now < self.now:
+            raise DatasetError(
+                f"cannot move the window clock backwards "
+                f"({self.now} -> {now})"
+            )
+        self.now = now
+        cutoff = now - self.horizon
+        expired: List[int] = []
+        while self._entries and self._entries[0][0] <= cutoff:
+            expired.append(self._entries.popleft()[1])
+        if expired:
+            self._maintainer.delete(expired)
+        return expired
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Testing hook: cross-check against the oracle."""
+        self._maintainer.verify()
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeWindowSkyline(horizon={self.horizon}, now={self.now}, "
+            f"size={self.size}, skyline={self.skyline_size})"
+        )
+
+
+class WindowSpec:
+    """Declarative window choice for continuous queries.
+
+    Construct via :meth:`count` (last-N records) or :meth:`time`
+    (records from the last ``horizon`` logical time units).
+    """
+
+    __slots__ = ("kind", "count_size", "horizon")
+
+    COUNT = "count"
+    TIME = "time"
+
+    def __init__(
+        self,
+        kind: str,
+        count_size: int = 0,
+        horizon: float = 0.0,
+    ) -> None:
+        if kind not in (self.COUNT, self.TIME):
+            raise DatasetError(f"unknown window kind {kind!r}")
+        if kind == self.COUNT and count_size <= 0:
+            raise DatasetError("count window needs a positive size")
+        if kind == self.TIME and not (horizon > 0):
+            raise DatasetError("time window needs a positive horizon")
+        self.kind = kind
+        self.count_size = int(count_size)
+        self.horizon = float(horizon)
+
+    @classmethod
+    def count(cls, size: int) -> "WindowSpec":
+        """A count-based n-of-N window over the last ``size`` records."""
+        return cls(cls.COUNT, count_size=size)
+
+    @classmethod
+    def time(cls, horizon: float) -> "WindowSpec":
+        """A time-based window over the last ``horizon`` time units."""
+        return cls(cls.TIME, horizon=horizon)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, WindowSpec)
+            and (self.kind, self.count_size, self.horizon)
+            == (other.kind, other.count_size, other.horizon)
+        )
+
+    def __repr__(self) -> str:
+        if self.kind == self.COUNT:
+            return f"WindowSpec.count({self.count_size})"
+        return f"WindowSpec.time({self.horizon})"

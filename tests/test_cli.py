@@ -113,3 +113,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "independence formula" in out
         assert "capture-recapture" in out
+
+    def test_stream_bench_command(self, capsys, tmp_path):
+        latency = tmp_path / "latency.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        code = main(
+            ["stream-bench", "-n", "300", "-d", "3", "--bits", "8",
+             "--records", "400", "--batch-size", "32", "--window", "200",
+             "--subscribers", "1", "--slow-subscribers", "1",
+             "--readers", "1",
+             "--latency-out", str(latency),
+             "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingest_records_per_s" in out
+        assert "replay_sound        : True" in out
+        assert latency.exists() and metrics.exists()
+
+    def test_stream_bench_gate_failure_exits_nonzero(self, capsys):
+        code = main(
+            ["stream-bench", "-n", "200", "-d", "3", "--bits", "8",
+             "--records", "100", "--batch-size", "50",
+             "--subscribers", "1", "--slow-subscribers", "0",
+             "--readers", "0",
+             "--min-ingest-per-sec", "1e9"]
+        )
+        assert code == 1
+        assert "GATE FAILED" in capsys.readouterr().err
